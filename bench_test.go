@@ -1,0 +1,306 @@
+// Benchmarks: one per experiment table/figure (the bench target column of
+// DESIGN.md §5), each regenerating its table at test scale, plus
+// micro-benchmarks for the substrate layers the pipeline is built from.
+//
+// Run: go test -bench=. -benchmem
+package evorec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"evorec"
+	"evorec/internal/archive"
+	"evorec/internal/exp"
+	"evorec/internal/graphx"
+	"evorec/internal/measures"
+	"evorec/internal/recommend"
+	"evorec/internal/schema"
+	"evorec/internal/semantics"
+	"evorec/internal/synth"
+	"evorec/internal/trend"
+)
+
+// benchParams is the benchmark-scale experiment setup: small enough for
+// stable per-iteration times, identical in structure to the full scale.
+func benchParams() exp.Params { return exp.TestScale() }
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	p := benchParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per table / figure.
+
+func BenchmarkE1DeltaStatistics(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2MeasureComplementarity(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3NeighborhoodLocality(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4RelatednessQuality(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5DiversityTradeoff(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6GroupFairness(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE7FairReranking(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8AnonymityUtility(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9Scalability(b *testing.B)            { benchExperiment(b, "E9") }
+func BenchmarkE10ProvenanceOverhead(b *testing.B)    { benchExperiment(b, "E10") }
+func BenchmarkA1BetweennessSampling(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2IndexVariants(b *testing.B)          { benchExperiment(b, "A2") }
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+func benchVersions(b *testing.B) (*evorec.Version, *evorec.Version) {
+	b.Helper()
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 80, Locality: 0.8}, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vs.At(0), vs.At(1)
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	older, _ := benchVersions(b)
+	triples := older.Graph.Triples()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := evorec.NewGraph()
+		g.AddAll(triples)
+	}
+}
+
+func BenchmarkGraphMatchBoundPredicate(b *testing.B) {
+	older, _ := benchVersions(b)
+	sch := schema.Extract(older.Graph)
+	props := sch.PropertyTerms()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		older.Graph.CountMatch(evorec.Term{}, props[i%len(props)], evorec.Term{})
+	}
+}
+
+func BenchmarkDeltaCompute(b *testing.B) {
+	older, newer := benchVersions(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evorec.ComputeDelta(older.Graph, newer.Graph)
+	}
+}
+
+func BenchmarkSchemaExtract(b *testing.B) {
+	older, _ := benchVersions(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		schema.Extract(older.Graph)
+	}
+}
+
+func BenchmarkSemanticAnalyzer(b *testing.B) {
+	older, _ := benchVersions(b)
+	sch := schema.Extract(older.Graph)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		semantics.NewAnalyzer(older.Graph, sch)
+	}
+}
+
+func BenchmarkBetweennessExact(b *testing.B) {
+	older, _ := benchVersions(b)
+	g := graphx.FromAdjacency(schema.Extract(older.Graph).ClassGraph())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Betweenness()
+	}
+}
+
+func BenchmarkBetweennessSampled(b *testing.B) {
+	older, _ := benchVersions(b)
+	g := graphx.FromAdjacency(schema.Extract(older.Graph).ClassGraph())
+	rng := rand.New(rand.NewSource(1))
+	k := g.NumNodes() / 4
+	if k < 1 {
+		k = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BetweennessSampled(k, rng)
+	}
+}
+
+func BenchmarkMeasureContext(b *testing.B) {
+	older, newer := benchVersions(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		measures.NewContext(older, newer)
+	}
+}
+
+func BenchmarkAllMeasures(b *testing.B) {
+	older, newer := benchVersions(b)
+	ctx := measures.NewContext(older, newer)
+	reg := measures.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recommend.BuildItems(ctx, reg)
+	}
+}
+
+func BenchmarkRecommendTopK(b *testing.B) {
+	older, newer := benchVersions(b)
+	ctx := measures.NewContext(older, newer)
+	items := recommend.BuildItems(ctx, measures.NewRegistry())
+	sch := schema.Extract(older.Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 8, ExtraInterests: 2},
+		rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recommend.TopK(pool[i%len(pool)], items, 3)
+	}
+}
+
+func BenchmarkKAnonymize(b *testing.B) {
+	older, _ := benchVersions(b)
+	sch := schema.Extract(older.Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 32, ExtraInterests: 2},
+		rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := recommend.KAnonymize(pool, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnginePipeline(b *testing.B) {
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 80, Locality: 0.8}, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch := schema.Extract(vs.At(0).Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 4, ExtraInterests: 2},
+		rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := evorec.NewEngine(evorec.EngineConfig{})
+		if err := eng.IngestAll(vs); err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range pool {
+			if _, err := eng.Recommend(u, evorec.Request{OlderID: "v1", NewerID: "v2", K: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE11ChangeTrends(b *testing.B)   { benchExperiment(b, "E11") }
+func BenchmarkA3ArchivePolicies(b *testing.B) { benchExperiment(b, "A3") }
+
+func BenchmarkTrendAnalyze(b *testing.B) {
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 60, Locality: 0.8}, 3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trend.Analyze(vs, measures.ChangeCount{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArchiveSaveLoadDeltaChain(b *testing.B) {
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 60, Locality: 0.8}, 3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := archive.Save(dir, vs, archive.Options{Policy: archive.DeltaChain}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := archive.Load(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA4SummaryCoverage(b *testing.B) { benchExperiment(b, "A4") }
+
+func BenchmarkSummarize(b *testing.B) {
+	older, _ := benchVersions(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evorec.Summarize(older.Graph, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNotify(b *testing.B) {
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 80, Locality: 0.8}, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := evorec.NewEngine(evorec.EngineConfig{})
+	if err := eng.IngestAll(vs); err != nil {
+		b.Fatal(err)
+	}
+	sch := schema.Extract(vs.At(0).Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 16, ExtraInterests: 2},
+		rand.New(rand.NewSource(5)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Notify(pool, "v1", "v2", 0.1, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

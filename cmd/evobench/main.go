@@ -1,0 +1,63 @@
+// Command evobench regenerates every table and figure of the experiment
+// suite (see DESIGN.md §5 and EXPERIMENTS.md). By default it runs the full
+// suite at paper scale; -exp selects a single experiment and -scale test
+// runs the reduced setup used by the unit tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"evorec/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "", "single experiment to run (E1..E10, A1, A2); empty runs all")
+	scale := flag.String("scale", "full", "experiment scale: full or test")
+	seed := flag.Int64("seed", 42, "generation seed")
+	users := flag.Int("users", 0, "override user population size (0 keeps the scale default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var p exp.Params
+	switch *scale {
+	case "full":
+		p = exp.Defaults()
+	case "test":
+		p = exp.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "evobench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	p.Seed = *seed
+	if *users > 0 {
+		p.Users = *users
+	}
+
+	if *expID != "" {
+		e, ok := exp.Lookup(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "evobench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		out, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evobench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+	if err := exp.RunAll(os.Stdout, p); err != nil {
+		fmt.Fprintln(os.Stderr, "evobench:", err)
+		os.Exit(1)
+	}
+}

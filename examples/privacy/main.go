@@ -1,0 +1,90 @@
+// Privacy-aware recommendation: the paper's §III-e anonymity scenario,
+// modeled on its medical-research example — user interest profiles are
+// sensitive, so the recommender only ever sees an anonymized view. The
+// example publishes the profile pool under k-anonymity and differential
+// privacy, simulates the linkage attack, and measures what the privacy
+// protection costs in recommendation quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"evorec"
+)
+
+func main() {
+	versions, _, err := evorec.GenerateVersions(
+		evorec.SmallKB(),
+		evorec.EvolveConfig{Ops: 120, Locality: 0.7},
+		1, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	older, _ := versions.Get("v1")
+	newer, _ := versions.Get("v2")
+	ctx := evorec.NewMeasureContext(older, newer)
+	items := evorec.BuildItems(ctx, evorec.NewMeasureRegistry())
+
+	sch := evorec.ExtractSchema(older.Graph)
+	rng := rand.New(rand.NewSource(3))
+	pool, _, err := evorec.GenerateProfiles(sch, evorec.ProfileConfig{Users: 16, ExtraInterests: 2}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: what each user would ideally be recommended, computed
+	// from the raw (sensitive) profiles.
+	const k = 3
+	groundTruth := make([]map[string]float64, len(pool))
+	for i, u := range pool {
+		gt := make(map[string]float64, len(items))
+		for _, it := range items {
+			gt[it.ID()] = evorec.Relatedness(u, it)
+		}
+		groundTruth[i] = gt
+	}
+
+	evaluate := func(label string, published []*evorec.Profile) {
+		risk := evorec.ReidentificationRisk(pool, published)
+		ndcg := 0.0
+		for i, p := range published {
+			ranked := evorec.MeasureIDs(evorec.TopK(p, items, len(items)))
+			ndcg += evorec.NDCGAtK(ranked, groundTruth[i], k)
+		}
+		fmt.Printf("  %-16s re-identification risk %.2f   NDCG@%d %.3f\n",
+			label, risk, k, ndcg/float64(len(published)))
+	}
+
+	fmt.Println("privacy/utility trade-off over", len(pool), "users:")
+	evaluate("no protection", pool)
+
+	for _, kAnon := range []int{2, 4, 8} {
+		anon, groups, err := evorec.KAnonymize(pool, kAnon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(fmt.Sprintf("k-anonymity k=%d", kAnon), anon)
+		if kAnon == 4 {
+			fmt.Printf("      (published %d centroid groups)\n", len(groups))
+		}
+	}
+
+	universe := evorec.InterestUniverse(pool)
+	for _, eps := range []float64{5, 0.5} {
+		noiseRng := rand.New(rand.NewSource(9))
+		noisy := make([]*evorec.Profile, len(pool))
+		for i, u := range pool {
+			np, err := evorec.DPPerturb(u, universe, eps, noiseRng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			noisy[i] = np
+		}
+		evaluate(fmt.Sprintf("dp ε=%.1f", eps), noisy)
+	}
+
+	fmt.Println("\nstronger anonymity lowers the linkage-attack risk and, in exchange,")
+	fmt.Println("the recommendations drift from the sensitive ground truth (§III-e).")
+}

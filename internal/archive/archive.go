@@ -1,0 +1,280 @@
+// Package archive persists evolving datasets to disk under configurable
+// archiving policies — full snapshots per version, a delta chain over one
+// base snapshot, or a hybrid with periodic snapshots. The paper builds on
+// archiving-policy work for evolving RDF datasets (its reference [13]); this
+// package supplies that substrate and the A3 ablation compares the policies
+// on storage footprint and reconstruction cost.
+//
+// On-disk layout: a directory with manifest.json plus one file per entry —
+// vN.nt (sorted N-Triples) for snapshots, vN.delta for deltas. A delta file
+// holds one change per line: "A <triple> ." for additions and
+// "D <triple> ." for deletions.
+package archive
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"evorec/internal/delta"
+	"evorec/internal/rdf"
+)
+
+// Policy selects how versions are materialized on disk.
+type Policy uint8
+
+const (
+	// FullSnapshots stores every version as a complete N-Triples file:
+	// maximum storage, O(1) single-version access.
+	FullSnapshots Policy = iota
+	// DeltaChain stores the first version as a snapshot and every further
+	// version as a delta over its predecessor: minimum storage, O(chain)
+	// reconstruction.
+	DeltaChain
+	// Hybrid stores a snapshot every SnapshotEvery versions and deltas in
+	// between, bounding both storage and reconstruction cost.
+	Hybrid
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FullSnapshots:
+		return "full_snapshots"
+	case DeltaChain:
+		return "delta_chain"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Options parameterize Save.
+type Options struct {
+	// Policy selects the archiving policy.
+	Policy Policy
+	// SnapshotEvery is the snapshot period for Hybrid (default 4).
+	SnapshotEvery int
+}
+
+// Entry describes one archived version in the manifest.
+type Entry struct {
+	// ID is the version ID.
+	ID string `json:"id"`
+	// Kind is "snapshot" or "delta".
+	Kind string `json:"kind"`
+	// File is the entry's file name within the archive directory.
+	File string `json:"file"`
+	// Triples is the snapshot size (snapshots only).
+	Triples int `json:"triples,omitempty"`
+	// Added and Deleted are the delta sizes (deltas only).
+	Added   int `json:"added,omitempty"`
+	Deleted int `json:"deleted,omitempty"`
+}
+
+// Manifest is the archive's index, stored as manifest.json.
+type Manifest struct {
+	// Policy records the archiving policy used.
+	Policy string `json:"policy"`
+	// Entries lists the archived versions in evolution order.
+	Entries []Entry `json:"entries"`
+}
+
+const manifestName = "manifest.json"
+
+// Save writes the version store to dir under the given policy and returns
+// the manifest. The directory is created if missing; existing archive files
+// are overwritten.
+func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
+	if vs.Len() == 0 {
+		return nil, fmt.Errorf("archive: nothing to save")
+	}
+	every := opt.SnapshotEvery
+	if every <= 0 {
+		every = 4
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: creating %s: %w", dir, err)
+	}
+	man := &Manifest{Policy: opt.Policy.String()}
+	ids := vs.IDs()
+	for i, id := range ids {
+		v, _ := vs.Get(id)
+		snapshot := i == 0 || opt.Policy == FullSnapshots ||
+			(opt.Policy == Hybrid && i%every == 0)
+		if snapshot {
+			name := id + ".nt"
+			if err := writeSnapshot(filepath.Join(dir, name), v.Graph); err != nil {
+				return nil, err
+			}
+			man.Entries = append(man.Entries, Entry{
+				ID: id, Kind: "snapshot", File: name, Triples: v.Graph.Len(),
+			})
+			continue
+		}
+		prev, _ := vs.Get(ids[i-1])
+		d := delta.Compute(prev.Graph, v.Graph)
+		name := id + ".delta"
+		if err := writeDelta(filepath.Join(dir, name), d); err != nil {
+			return nil, err
+		}
+		man.Entries = append(man.Entries, Entry{
+			ID: id, Kind: "delta", File: name,
+			Added: len(d.Added), Deleted: len(d.Deleted),
+		})
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("archive: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		return nil, fmt.Errorf("archive: writing manifest: %w", err)
+	}
+	return man, nil
+}
+
+func writeSnapshot(path string, g *rdf.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("archive: creating snapshot: %w", err)
+	}
+	if err := rdf.WriteNTriples(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeDelta(path string, d *delta.Delta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("archive: creating delta: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, t := range d.Added {
+		fmt.Fprintf(w, "A %s\n", t)
+	}
+	for _, t := range d.Deleted {
+		fmt.Fprintf(w, "D %s\n", t)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: writing delta: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads an archive directory back into a version store, reconstructing
+// delta entries by applying them to the previous version.
+func Load(dir string) (*rdf.VersionStore, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("archive: reading manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("archive: decoding manifest: %w", err)
+	}
+	vs := rdf.NewVersionStore()
+	var prev *rdf.Graph
+	for i, e := range man.Entries {
+		path := filepath.Join(dir, e.File)
+		var g *rdf.Graph
+		switch e.Kind {
+		case "snapshot":
+			g, err = readSnapshot(path)
+			if err != nil {
+				return nil, err
+			}
+		case "delta":
+			if prev == nil {
+				return nil, fmt.Errorf("archive: entry %d (%s) is a delta with no base", i, e.ID)
+			}
+			d, err := readDelta(path)
+			if err != nil {
+				return nil, err
+			}
+			g = prev.Clone()
+			d.Apply(g)
+		default:
+			return nil, fmt.Errorf("archive: entry %d has unknown kind %q", i, e.Kind)
+		}
+		if err := vs.Add(&rdf.Version{ID: e.ID, Graph: g}); err != nil {
+			return nil, err
+		}
+		prev = g
+	}
+	return vs, nil
+}
+
+func readSnapshot(path string) (*rdf.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	g, err := rdf.ReadNTriples(f)
+	if err != nil {
+		return nil, fmt.Errorf("archive: parsing %s: %w", path, err)
+	}
+	return g, nil
+}
+
+func readDelta(path string) (*delta.Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: opening delta: %w", err)
+	}
+	defer f.Close()
+	d := &delta.Delta{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		if len(text) < 2 || (text[0] != 'A' && text[0] != 'D') || text[1] != ' ' {
+			return nil, fmt.Errorf("archive: %s:%d: malformed delta line", path, line)
+		}
+		t, ok, err := rdf.ParseTripleLine(text[2:], line)
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s: %w", path, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("archive: %s:%d: empty delta payload", path, line)
+		}
+		if text[0] == 'A' {
+			d.Added = append(d.Added, t)
+		} else {
+			d.Deleted = append(d.Deleted, t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("archive: reading %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// DiskUsage sums the file sizes of the archive's entries plus manifest, for
+// the storage-footprint comparisons in A3.
+func DiskUsage(dir string, man *Manifest) (int64, error) {
+	total := int64(0)
+	files := []string{manifestName}
+	for _, e := range man.Entries {
+		files = append(files, e.File)
+	}
+	for _, name := range files {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return 0, fmt.Errorf("archive: stat %s: %w", name, err)
+		}
+		total += info.Size()
+	}
+	return total, nil
+}

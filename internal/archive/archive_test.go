@@ -1,0 +1,218 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"evorec/internal/rdf"
+	"evorec/internal/synth"
+)
+
+func chain(t *testing.T, steps int) *rdf.VersionStore {
+	t.Helper()
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 50, Locality: 0.8}, steps, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func assertSameStore(t *testing.T, want, got *rdf.VersionStore) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("version count = %d, want %d", got.Len(), want.Len())
+	}
+	for i, id := range want.IDs() {
+		if got.IDs()[i] != id {
+			t.Fatalf("version order differs at %d: %s vs %s", i, got.IDs()[i], id)
+		}
+		wg, _ := want.Get(id)
+		gg, _ := got.Get(id)
+		if gg.Graph.Len() != wg.Graph.Len() {
+			t.Fatalf("version %s size = %d, want %d", id, gg.Graph.Len(), wg.Graph.Len())
+		}
+		for _, tr := range wg.Graph.Triples() {
+			if !gg.Graph.Has(tr) {
+				t.Fatalf("version %s lost %v", id, tr)
+			}
+		}
+	}
+}
+
+func TestRoundTripAllPolicies(t *testing.T) {
+	vs := chain(t, 5)
+	for _, policy := range []Policy{FullSnapshots, DeltaChain, Hybrid} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			man, err := Save(dir, vs, Options{Policy: policy, SnapshotEvery: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(man.Entries) != vs.Len() {
+				t.Fatalf("manifest entries = %d, want %d", len(man.Entries), vs.Len())
+			}
+			back, err := Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameStore(t, vs, back)
+		})
+	}
+}
+
+func TestPolicyEntryKinds(t *testing.T) {
+	vs := chain(t, 5) // 6 versions
+	dir := t.TempDir()
+
+	man, err := Save(dir, vs, Options{Policy: FullSnapshots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range man.Entries {
+		if e.Kind != "snapshot" {
+			t.Fatalf("full_snapshots must store only snapshots, got %s", e.Kind)
+		}
+	}
+
+	man, err = Save(t.TempDir(), vs, Options{Policy: DeltaChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Entries[0].Kind != "snapshot" {
+		t.Fatal("delta chain must start with a snapshot")
+	}
+	for _, e := range man.Entries[1:] {
+		if e.Kind != "delta" {
+			t.Fatalf("delta chain tail must be deltas, got %s", e.Kind)
+		}
+	}
+
+	man, err = Save(t.TempDir(), vs, Options{Policy: Hybrid, SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshots := 0
+	for i, e := range man.Entries {
+		if i%3 == 0 {
+			if e.Kind != "snapshot" {
+				t.Fatalf("hybrid entry %d must be a snapshot", i)
+			}
+			snapshots++
+		} else if e.Kind != "delta" {
+			t.Fatalf("hybrid entry %d must be a delta", i)
+		}
+	}
+	if snapshots != 2 {
+		t.Fatalf("hybrid with period 3 over 6 versions: %d snapshots, want 2", snapshots)
+	}
+}
+
+func TestDeltaChainSmallerThanSnapshots(t *testing.T) {
+	vs := chain(t, 5)
+	dirFull, dirDelta := t.TempDir(), t.TempDir()
+	manFull, err := Save(dirFull, vs, Options{Policy: FullSnapshots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manDelta, err := Save(dirDelta, vs, Options{Policy: DeltaChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeFull, err := DiskUsage(dirFull, manFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeDelta, err := DiskUsage(dirDelta, manDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizeDelta >= sizeFull {
+		t.Fatalf("delta chain (%d B) must be smaller than full snapshots (%d B)",
+			sizeDelta, sizeFull)
+	}
+}
+
+func TestSaveEmptyStoreFails(t *testing.T) {
+	if _, err := Save(t.TempDir(), rdf.NewVersionStore(), Options{}); err == nil {
+		t.Fatal("empty store must fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	// Missing manifest.
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("missing manifest must fail")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{oops"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt manifest must fail")
+	}
+	// Delta without base.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "manifest.json"),
+		[]byte(`{"policy":"delta_chain","entries":[{"id":"v1","kind":"delta","file":"v1.delta"}]}`), 0o644)
+	os.WriteFile(filepath.Join(dir2, "v1.delta"), []byte(""), 0o644)
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("delta with no base must fail")
+	}
+	// Unknown kind.
+	dir3 := t.TempDir()
+	os.WriteFile(filepath.Join(dir3, "manifest.json"),
+		[]byte(`{"policy":"x","entries":[{"id":"v1","kind":"weird","file":"v1.x"}]}`), 0o644)
+	if _, err := Load(dir3); err == nil {
+		t.Fatal("unknown entry kind must fail")
+	}
+	// Missing referenced file.
+	dir4 := t.TempDir()
+	os.WriteFile(filepath.Join(dir4, "manifest.json"),
+		[]byte(`{"policy":"full_snapshots","entries":[{"id":"v1","kind":"snapshot","file":"v1.nt"}]}`), 0o644)
+	if _, err := Load(dir4); err == nil {
+		t.Fatal("missing snapshot file must fail")
+	}
+}
+
+func TestMalformedDeltaLines(t *testing.T) {
+	dir := t.TempDir()
+	g := rdf.NewGraph()
+	g.Add(rdf.T(rdf.SchemaIRI("A"), rdf.RDFType, rdf.RDFSClass))
+	vs := rdf.NewVersionStore()
+	vs.Add(&rdf.Version{ID: "v1", Graph: g})
+	g2 := g.Clone()
+	g2.Add(rdf.T(rdf.SchemaIRI("B"), rdf.RDFType, rdf.RDFSClass))
+	vs.Add(&rdf.Version{ID: "v2", Graph: g2})
+	if _, err := Save(dir, vs, Options{Policy: DeltaChain}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the delta payload.
+	path := filepath.Join(dir, "v2.delta")
+	os.WriteFile(path, []byte("X not a delta line\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("malformed delta line must fail")
+	}
+	os.WriteFile(path, []byte("A broken triple\n"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Fatal("unparseable triple in delta must fail")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if FullSnapshots.String() != "full_snapshots" || DeltaChain.String() != "delta_chain" ||
+		Hybrid.String() != "hybrid" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+}
+
+func TestDiskUsageMissingFile(t *testing.T) {
+	man := &Manifest{Entries: []Entry{{File: "ghost.nt"}}}
+	if _, err := DiskUsage(t.TempDir(), man); err == nil {
+		t.Fatal("missing file must fail DiskUsage")
+	}
+}

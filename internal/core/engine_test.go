@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"evorec/internal/profile"
+	"evorec/internal/recommend"
+	"evorec/internal/schema"
+	"evorec/internal/synth"
+)
+
+func testEngine(t *testing.T) (*Engine, []*profile.Profile) {
+	t.Helper()
+	e := New(Config{Clock: fixedClock()})
+	vs, _, err := synth.GenerateVersions(synth.Small(), synth.EvolveConfig{Ops: 40, Locality: 0.8}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestAll(vs); err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.Extract(vs.At(0).Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 8, ExtraInterests: 2}, newRng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, pool
+}
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2017, 4, 19, 9, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestIngestRecordsProvenance(t *testing.T) {
+	e, _ := testEngine(t)
+	if e.Versions().Len() != 3 {
+		t.Fatalf("versions = %d, want 3", e.Versions().Len())
+	}
+	if _, ok := e.Provenance().Creator("version:v1"); !ok {
+		t.Fatal("ingest must record provenance for version:v1")
+	}
+	// Duplicate ingest fails.
+	v, _ := e.Versions().Get("v1")
+	if err := e.Ingest(v); err == nil {
+		t.Fatal("duplicate ingest must fail")
+	}
+}
+
+func TestContextCachingAndErrors(t *testing.T) {
+	e, _ := testEngine(t)
+	c1, err := e.Context("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.Context("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("Context must be cached")
+	}
+	if _, err := e.Context("v1", "nope"); err == nil {
+		t.Fatal("unknown newer version must fail")
+	}
+	if _, err := e.Context("nope", "v2"); err == nil {
+		t.Fatal("unknown older version must fail")
+	}
+	// Delta provenance recorded exactly once despite two calls.
+	if got := len(e.Provenance().ProducersOf("delta:v1->v2")); got != 1 {
+		t.Fatalf("delta provenance records = %d, want 1", got)
+	}
+}
+
+func TestItemsCoverRegistry(t *testing.T) {
+	e, _ := testEngine(t)
+	items, err := e.Items("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != e.Registry().Len() {
+		t.Fatalf("items = %d, want %d", len(items), e.Registry().Len())
+	}
+	again, _ := e.Items("v1", "v2")
+	if &again[0] != &items[0] {
+		t.Fatal("Items must be cached")
+	}
+	if _, ok := e.Provenance().Creator("scores:change_count:v1->v2"); !ok {
+		t.Fatal("measure scores must have provenance")
+	}
+}
+
+func TestRecommendStrategies(t *testing.T) {
+	e, pool := testEngine(t)
+	u := pool[0]
+	for _, strat := range []Strategy{Plain, DiverseMMR, DiverseMaxMin, NoveltyAware, SemanticDiverse} {
+		sel, err := e.Recommend(u, Request{OlderID: "v1", NewerID: "v2", K: 3, Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(sel) != 3 {
+			t.Fatalf("%v: selection size = %d, want 3", strat, len(sel))
+		}
+		seen := map[string]bool{}
+		for _, s := range sel {
+			if seen[s.MeasureID] {
+				t.Fatalf("%v: duplicate measure %s", strat, s.MeasureID)
+			}
+			seen[s.MeasureID] = true
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	e, pool := testEngine(t)
+	if _, err := e.Recommend(nil, Request{OlderID: "v1", NewerID: "v2", K: 1}); err == nil {
+		t.Fatal("nil profile must fail")
+	}
+	if _, err := e.Recommend(pool[0], Request{OlderID: "v1", NewerID: "v2", K: 0}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	if _, err := e.Recommend(pool[0], Request{OlderID: "vX", NewerID: "v2", K: 1}); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+}
+
+func TestRecommendMarkSeenFeedsNovelty(t *testing.T) {
+	e, pool := testEngine(t)
+	u := pool[1]
+	first, err := e.Recommend(u, Request{OlderID: "v1", NewerID: "v2", K: 2, MarkSeen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.SeenCount(first[0].MeasureID) != 1 {
+		t.Fatal("MarkSeen must update the profile")
+	}
+	// After marking several times, novelty-aware recommendations change.
+	for i := 0; i < 5; i++ {
+		u.MarkSeen(first[0].MeasureID)
+	}
+	nov, err := e.Recommend(u, Request{OlderID: "v1", NewerID: "v2", K: 1, Strategy: NoveltyAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nov[0].MeasureID == first[0].MeasureID {
+		t.Fatal("novelty-aware strategy must avoid the over-seen measure")
+	}
+}
+
+func TestRecommendProvenanceChain(t *testing.T) {
+	e, pool := testEngine(t)
+	u := pool[2]
+	if _, err := e.Recommend(u, Request{OlderID: "v2", NewerID: "v3", K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	artifact := "rec:" + u.ID + ":v2->v3:plain"
+	lineage := e.Provenance().Lineage(artifact)
+	if len(lineage) < 4 { // ingest v2, ingest v3, delta, measures, recommend
+		t.Fatalf("lineage too short: %d records", len(lineage))
+	}
+	report := e.Provenance().Report(artifact)
+	for _, want := range []string{"ingest_version", "compute_delta", "evaluate_measures", "recommend"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("transparency report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRecommendGroupModes(t *testing.T) {
+	e, pool := testEngine(t)
+	g, err := profile.NewGroup("team", pool[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []recommend.Aggregation{recommend.Average, recommend.LeastMisery, recommend.MostPleasure} {
+		sel, err := e.RecommendGroup(g, GroupRequest{OlderID: "v1", NewerID: "v2", K: 3, Aggregation: agg})
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		if len(sel) != 3 {
+			t.Fatalf("%v: size = %d", agg, len(sel))
+		}
+	}
+	fair, err := e.RecommendGroup(g, GroupRequest{OlderID: "v1", NewerID: "v2", K: 3, FairGreedy: true, FairAlpha: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fair) != 3 {
+		t.Fatalf("fair greedy size = %d", len(fair))
+	}
+	if _, err := e.RecommendGroup(nil, GroupRequest{OlderID: "v1", NewerID: "v2", K: 1}); err == nil {
+		t.Fatal("nil group must fail")
+	}
+	if _, err := e.RecommendGroup(g, GroupRequest{OlderID: "v1", NewerID: "v2", K: 0}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+}
+
+func TestAnonymizePolicies(t *testing.T) {
+	e, pool := testEngine(t)
+	// No-op policy returns the pool unchanged.
+	same, err := e.Anonymize(pool, PrivacyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same[0] != pool[0] {
+		t.Fatal("empty policy must be a pass-through")
+	}
+	// k-anonymity yields k-shared vectors.
+	anon, err := e.Anonymize(pool, PrivacyPolicy{KAnonymity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recommend.ReidentificationRisk(pool, anon) > 0.5 {
+		t.Fatal("k-anonymity must reduce re-identification risk")
+	}
+	// DP noise with fixed seed is reproducible.
+	n1, err := e.Anonymize(pool, PrivacyPolicy{Epsilon: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := e.Anonymize(pool, PrivacyPolicy{Epsilon: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.CosineVectors(n1[0].Interests, n2[0].Interests) < 1-1e-9 {
+		t.Fatal("same seed must give identical noise")
+	}
+	// Bad k propagates.
+	if _, err := e.Anonymize(pool, PrivacyPolicy{KAnonymity: 99}); err == nil {
+		t.Fatal("oversized k must fail")
+	}
+}
+
+func TestRecommendPrivate(t *testing.T) {
+	e, pool := testEngine(t)
+	sel, err := e.RecommendPrivate(pool, 0, Request{OlderID: "v1", NewerID: "v2", K: 2},
+		PrivacyPolicy{KAnonymity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("private selection size = %d", len(sel))
+	}
+	if _, err := e.RecommendPrivate(pool, -1, Request{OlderID: "v1", NewerID: "v2", K: 1}, PrivacyPolicy{}); err == nil {
+		t.Fatal("bad index must fail")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		Plain: "plain", DiverseMMR: "mmr", DiverseMaxMin: "maxmin",
+		NoveltyAware: "novelty", SemanticDiverse: "semantic",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("Strategy(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy must render")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	e := New(Config{})
+	if e.Registry() == nil || e.Registry().Len() == 0 {
+		t.Fatal("zero config must get the default registry")
+	}
+	if e.Provenance() == nil {
+		t.Fatal("zero config must get a provenance store")
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"evorec/internal/profile"
+	"evorec/internal/provenance"
+	"evorec/internal/recommend"
+)
+
+// Notification tells one user that data they care about evolved, through
+// which measure the evolution is best seen, and how strongly it concerns
+// them — the paper's "humans are really interested to be notified about how
+// data evolve" scenario (§I, §III).
+type Notification struct {
+	// UserID identifies the recipient.
+	UserID string
+	// OlderID and NewerID name the version pair that triggered the
+	// notification.
+	OlderID, NewerID string
+	// MeasureID is the measure through which the change is best seen.
+	MeasureID string
+	// Relatedness is the user-measure relatedness that crossed the
+	// threshold.
+	Relatedness float64
+	// Reason is a one-line human-readable explanation.
+	Reason string
+}
+
+// Notify scans the pool after a version pair and emits, per user, the top
+// measures whose relatedness crosses the threshold — at most k per user.
+// Users whose interests are untouched by the evolution stay silent; the
+// emission is recorded in provenance. Notifications are ordered by user,
+// then descending relatedness.
+func (e *Engine) Notify(pool []*profile.Profile, olderID, newerID string, threshold float64, k int) ([]Notification, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: threshold must be in [0,1], got %g", threshold)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	items, err := e.Items(olderID, newerID)
+	if err != nil {
+		return nil, err
+	}
+	var out []Notification
+	for _, u := range pool {
+		top := recommend.TopK(u, items, k)
+		for _, r := range top {
+			if r.Score < threshold || r.Score == 0 {
+				continue
+			}
+			it, ok := findItem(items, r.MeasureID)
+			if !ok {
+				continue
+			}
+			out = append(out, Notification{
+				UserID:      u.ID,
+				OlderID:     olderID,
+				NewerID:     newerID,
+				MeasureID:   r.MeasureID,
+				Relatedness: r.Score,
+				Reason:      recommend.ExplainText(u, it, 1),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].UserID != out[j].UserID {
+			return out[i].UserID < out[j].UserID
+		}
+		return out[i].Relatedness > out[j].Relatedness
+	})
+	key := pairKey(olderID, newerID)
+	if _, err := e.prov.Append("notify", e.agent, provenance.Inference,
+		[]string{e.itemsRec[key]},
+		[]string{fmt.Sprintf("notifications:%s", key)},
+		fmt.Sprintf("%d notifications over %d users (threshold %.2f)", len(out), len(pool), threshold)); err != nil {
+		return nil, fmt.Errorf("core: recording notification provenance: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"evorec/internal/trend"
+)
+
+func TestTrendAnalysis(t *testing.T) {
+	e, _ := testEngine(t) // 3 versions
+	a, err := e.TrendAnalysis("change_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeasureID != "change_count" {
+		t.Fatalf("measure = %s", a.MeasureID)
+	}
+	if len(a.PairIDs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(a.PairIDs))
+	}
+	if a.Len() == 0 {
+		t.Fatal("trend analysis must track entities")
+	}
+	// Shape counts cover everything.
+	total := 0
+	for _, n := range a.ShapeCounts() {
+		total += n
+	}
+	if total != a.Len() {
+		t.Fatal("shape counts must cover all entities")
+	}
+	// Provenance recorded with lineage to both deltas.
+	if _, ok := e.Provenance().Creator("trend:change_count:v1..v3"); !ok {
+		t.Fatal("trend analysis must record provenance")
+	}
+	lin := e.Provenance().Lineage("trend:change_count:v1..v3")
+	deltas := 0
+	for _, r := range lin {
+		if r.Activity == "compute_delta" {
+			deltas++
+		}
+	}
+	if deltas != 2 {
+		t.Fatalf("trend lineage must include both deltas, got %d", deltas)
+	}
+}
+
+func TestTrendAnalysisErrors(t *testing.T) {
+	e, _ := testEngine(t)
+	if _, err := e.TrendAnalysis("no_such_measure"); err == nil {
+		t.Fatal("unknown measure must fail")
+	}
+	empty := New(Config{})
+	if _, err := empty.TrendAnalysis("change_count"); err == nil {
+		t.Fatal("too few versions must fail")
+	}
+}
+
+func TestTrendAnalysisRepeatedCheap(t *testing.T) {
+	e, _ := testEngine(t)
+	a1, err := e.TrendAnalysis("change_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.TrendAnalysis("relevance_shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contexts shared: delta provenance still recorded once per pair.
+	if got := len(e.Provenance().ProducersOf("delta:v1->v2")); got != 1 {
+		t.Fatalf("delta provenance recorded %d times", got)
+	}
+	_ = a1
+	var _ *trend.Analysis = a2
+}

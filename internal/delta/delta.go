@@ -1,0 +1,181 @@
+// Package delta computes evolution deltas between knowledge-base versions.
+//
+// It implements the paper's low-level deltas (§II-a): the sets of triples
+// added (δ+) and deleted (δ−) between two versions, their per-class and
+// per-property attribution δ(n), and — following the flexible framework of
+// Roussakis et al. [11] that the paper builds on — a high-level change
+// detector that lifts raw triple deltas into schema-level change patterns
+// (class added, hierarchy moved, domain changed, ...).
+package delta
+
+import (
+	"evorec/internal/rdf"
+)
+
+// Delta is the low-level delta between an older and a newer version: the
+// triples added and the triples deleted. Both slices are sorted for
+// deterministic processing.
+type Delta struct {
+	// OlderID and NewerID name the versions the delta spans, when known.
+	OlderID, NewerID string
+	// Added holds δ+: triples present in newer but not older.
+	Added []rdf.Triple
+	// Deleted holds δ−: triples present in older but not newer.
+	Deleted []rdf.Triple
+}
+
+// Compute returns the low-level delta between the two graphs.
+func Compute(older, newer *rdf.Graph) *Delta {
+	d := &Delta{}
+	newer.ForEachMatch(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+		if !older.Has(t) {
+			d.Added = append(d.Added, t)
+		}
+		return true
+	})
+	older.ForEachMatch(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+		if !newer.Has(t) {
+			d.Deleted = append(d.Deleted, t)
+		}
+		return true
+	})
+	rdf.SortTriples(d.Added)
+	rdf.SortTriples(d.Deleted)
+	return d
+}
+
+// ComputeVersions is Compute plus version ID labeling.
+func ComputeVersions(older, newer *rdf.Version) *Delta {
+	d := Compute(older.Graph, newer.Graph)
+	d.OlderID, d.NewerID = older.ID, newer.ID
+	return d
+}
+
+// Size returns |δ| = |δ+| + |δ−|.
+func (d *Delta) Size() int { return len(d.Added) + len(d.Deleted) }
+
+// IsEmpty reports whether the delta contains no changes.
+func (d *Delta) IsEmpty() bool { return d.Size() == 0 }
+
+// Apply replays the delta onto g (deletions first, then additions),
+// returning the number of triples actually removed and added. Applying the
+// delta of (A, B) to a clone of A yields a graph equal to B.
+func (d *Delta) Apply(g *rdf.Graph) (removed, added int) {
+	for _, t := range d.Deleted {
+		if g.Remove(t) {
+			removed++
+		}
+	}
+	for _, t := range d.Added {
+		if g.Add(t) {
+			added++
+		}
+	}
+	return removed, added
+}
+
+// Invert returns the reverse delta: applying Invert() to the newer version
+// yields the older one.
+func (d *Delta) Invert() *Delta {
+	inv := &Delta{
+		OlderID: d.NewerID,
+		NewerID: d.OlderID,
+		Added:   make([]rdf.Triple, len(d.Deleted)),
+		Deleted: make([]rdf.Triple, len(d.Added)),
+	}
+	copy(inv.Added, d.Deleted)
+	copy(inv.Deleted, d.Added)
+	return inv
+}
+
+// AddedGraph materializes δ+ as a graph, so the query engine and the
+// schema extractor can run directly over "what appeared".
+func (d *Delta) AddedGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddAll(d.Added)
+	return g
+}
+
+// DeletedGraph materializes δ− as a graph ("what disappeared").
+func (d *Delta) DeletedGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddAll(d.Deleted)
+	return g
+}
+
+// TermDelta is the per-term attribution of a delta: how many added and
+// deleted triples mention the term in any position.
+type TermDelta struct {
+	Added, Deleted int
+}
+
+// Total returns the total number of changes mentioning the term,
+// |δ(n)| in the paper's notation.
+func (td TermDelta) Total() int { return td.Added + td.Deleted }
+
+// Attribution indexes a delta by mentioned term. Build it once per delta
+// with Attribute; lookups are O(1).
+type Attribution struct {
+	byTerm map[rdf.Term]TermDelta
+}
+
+// Attribute builds the per-term attribution of the delta. Each triple
+// contributes one change to every distinct term it mentions.
+func Attribute(d *Delta) *Attribution {
+	a := &Attribution{byTerm: make(map[rdf.Term]TermDelta)}
+	count := func(ts []rdf.Triple, added bool) {
+		for _, t := range ts {
+			for _, x := range distinctTerms(t) {
+				td := a.byTerm[x]
+				if added {
+					td.Added++
+				} else {
+					td.Deleted++
+				}
+				a.byTerm[x] = td
+			}
+		}
+	}
+	count(d.Added, true)
+	count(d.Deleted, false)
+	return a
+}
+
+func distinctTerms(t rdf.Triple) []rdf.Term {
+	out := []rdf.Term{t.S}
+	if t.P != t.S {
+		out = append(out, t.P)
+	}
+	if t.O != t.S && t.O != t.P {
+		out = append(out, t.O)
+	}
+	return out
+}
+
+// Changes returns δ(n): the attribution for term n (zero if unmentioned).
+func (a *Attribution) Changes(n rdf.Term) TermDelta { return a.byTerm[n] }
+
+// Terms returns every term mentioned in the delta, sorted.
+func (a *Attribution) Terms() []rdf.Term {
+	out := make([]rdf.Term, 0, len(a.byTerm))
+	for t := range a.byTerm {
+		out = append(out, t)
+	}
+	rdf.SortTerms(out)
+	return out
+}
+
+// Len returns the number of distinct terms mentioned by the delta.
+func (a *Attribution) Len() int { return len(a.byTerm) }
+
+// NeighborhoodChanges computes |δN(n)| (§II-b): the total changes over a
+// set of neighborhood classes. The neighborhood itself is supplied by the
+// caller (schema.Neighbors over the union of both versions, see
+// measures.NeighborhoodChangeCount).
+func (a *Attribution) NeighborhoodChanges(neighbors []rdf.Term) int {
+	sum := 0
+	for _, n := range neighbors {
+		sum += a.byTerm[n].Total()
+	}
+	return sum
+}

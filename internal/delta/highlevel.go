@@ -1,0 +1,222 @@
+package delta
+
+import (
+	"fmt"
+
+	"evorec/internal/rdf"
+	"evorec/internal/schema"
+)
+
+// ChangeKind enumerates the high-level change patterns the detector lifts
+// out of a low-level delta, following the change taxonomy of Roussakis et
+// al. [11] restricted to the RDF/S constructs this system models.
+type ChangeKind uint8
+
+const (
+	// ClassAdded: a class exists in the newer version only.
+	ClassAdded ChangeKind = iota
+	// ClassDeleted: a class exists in the older version only.
+	ClassDeleted
+	// PropertyAdded: a property exists in the newer version only.
+	PropertyAdded
+	// PropertyDeleted: a property exists in the older version only.
+	PropertyDeleted
+	// SuperClassChanged: the direct superclass set of a class changed.
+	SuperClassChanged
+	// DomainChanged: the declared domain set of a property changed.
+	DomainChanged
+	// RangeChanged: the declared range set of a property changed.
+	RangeChanged
+	// InstancesAdded: the class gained typed instances.
+	InstancesAdded
+	// InstancesDeleted: the class lost typed instances.
+	InstancesDeleted
+	// LabelChanged: an rdfs:label of the target changed.
+	LabelChanged
+)
+
+// String returns the canonical name of the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ClassAdded:
+		return "class_added"
+	case ClassDeleted:
+		return "class_deleted"
+	case PropertyAdded:
+		return "property_added"
+	case PropertyDeleted:
+		return "property_deleted"
+	case SuperClassChanged:
+		return "superclass_changed"
+	case DomainChanged:
+		return "domain_changed"
+	case RangeChanged:
+		return "range_changed"
+	case InstancesAdded:
+		return "instances_added"
+	case InstancesDeleted:
+		return "instances_deleted"
+	case LabelChanged:
+		return "label_changed"
+	default:
+		return fmt.Sprintf("change_kind(%d)", uint8(k))
+	}
+}
+
+// HighLevelChange is one detected schema-level change.
+type HighLevelChange struct {
+	// Kind classifies the change.
+	Kind ChangeKind
+	// Target is the class or property the change is about.
+	Target rdf.Term
+	// From holds the pre-change related terms (old supers, old domains, ...),
+	// when applicable.
+	From []rdf.Term
+	// To holds the post-change related terms.
+	To []rdf.Term
+	// Count carries a magnitude for counted changes (instances added etc.).
+	Count int
+}
+
+// String renders the change for reports.
+func (c HighLevelChange) String() string {
+	switch c.Kind {
+	case InstancesAdded, InstancesDeleted:
+		return fmt.Sprintf("%s(%s, %d)", c.Kind, c.Target.Local(), c.Count)
+	case SuperClassChanged, DomainChanged, RangeChanged:
+		return fmt.Sprintf("%s(%s, %s -> %s)", c.Kind, c.Target.Local(), locals(c.From), locals(c.To))
+	default:
+		return fmt.Sprintf("%s(%s)", c.Kind, c.Target.Local())
+	}
+}
+
+func locals(ts []rdf.Term) string {
+	if len(ts) == 0 {
+		return "[]"
+	}
+	s := "["
+	for i, t := range ts {
+		if i > 0 {
+			s += " "
+		}
+		s += t.Local()
+	}
+	return s + "]"
+}
+
+// DetectHighLevel lifts the low-level delta between two versions into
+// high-level changes by comparing the extracted schemas and the type
+// assertions on both sides. The result is ordered deterministically:
+// grouped by kind, then by target term.
+func DetectHighLevel(older, newer *rdf.Graph) []HighLevelChange {
+	so, sn := schema.Extract(older), schema.Extract(newer)
+	var out []HighLevelChange
+
+	// Class existence.
+	for _, c := range sn.ClassTerms() {
+		if !so.IsClass(c) {
+			out = append(out, HighLevelChange{Kind: ClassAdded, Target: c})
+		}
+	}
+	for _, c := range so.ClassTerms() {
+		if !sn.IsClass(c) {
+			out = append(out, HighLevelChange{Kind: ClassDeleted, Target: c})
+		}
+	}
+	// Property existence.
+	for _, p := range sn.PropertyTerms() {
+		if !so.IsProperty(p) {
+			out = append(out, HighLevelChange{Kind: PropertyAdded, Target: p})
+		}
+	}
+	for _, p := range so.PropertyTerms() {
+		if !sn.IsProperty(p) {
+			out = append(out, HighLevelChange{Kind: PropertyDeleted, Target: p})
+		}
+	}
+	// Hierarchy moves for classes present on both sides.
+	for _, c := range so.ClassTerms() {
+		if !sn.IsClass(c) {
+			continue
+		}
+		co, _ := so.Class(c)
+		cn, _ := sn.Class(c)
+		if !sameTerms(co.Supers, cn.Supers) {
+			out = append(out, HighLevelChange{
+				Kind: SuperClassChanged, Target: c, From: co.Supers, To: cn.Supers,
+			})
+		}
+		if cn.InstanceCount > co.InstanceCount {
+			out = append(out, HighLevelChange{
+				Kind: InstancesAdded, Target: c, Count: cn.InstanceCount - co.InstanceCount,
+			})
+		} else if cn.InstanceCount < co.InstanceCount {
+			out = append(out, HighLevelChange{
+				Kind: InstancesDeleted, Target: c, Count: co.InstanceCount - cn.InstanceCount,
+			})
+		}
+	}
+	// Domain/range moves for properties present on both sides.
+	for _, p := range so.PropertyTerms() {
+		if !sn.IsProperty(p) {
+			continue
+		}
+		po, _ := so.Property(p)
+		pn, _ := sn.Property(p)
+		if !sameTerms(po.Domains, pn.Domains) {
+			out = append(out, HighLevelChange{
+				Kind: DomainChanged, Target: p, From: po.Domains, To: pn.Domains,
+			})
+		}
+		if !sameTerms(po.Ranges, pn.Ranges) {
+			out = append(out, HighLevelChange{
+				Kind: RangeChanged, Target: p, From: po.Ranges, To: pn.Ranges,
+			})
+		}
+	}
+	// Label changes on schema terms.
+	labelTargets := make(map[rdf.Term]struct{})
+	for _, c := range so.ClassTerms() {
+		labelTargets[c] = struct{}{}
+	}
+	for _, p := range so.PropertyTerms() {
+		labelTargets[p] = struct{}{}
+	}
+	var labelChanged []rdf.Term
+	for t := range labelTargets {
+		oldLabels := older.Objects(t, rdf.RDFSLabel)
+		newLabels := newer.Objects(t, rdf.RDFSLabel)
+		rdf.SortTerms(oldLabels)
+		rdf.SortTerms(newLabels)
+		if len(oldLabels) > 0 && len(newLabels) > 0 && !sameTerms(oldLabels, newLabels) {
+			labelChanged = append(labelChanged, t)
+		}
+	}
+	rdf.SortTerms(labelChanged)
+	for _, t := range labelChanged {
+		out = append(out, HighLevelChange{Kind: LabelChanged, Target: t})
+	}
+	return out
+}
+
+// sameTerms reports whether two sorted term slices are equal.
+func sameTerms(a, b []rdf.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountByKind tallies high-level changes per kind.
+func CountByKind(changes []HighLevelChange) map[ChangeKind]int {
+	out := make(map[ChangeKind]int)
+	for _, c := range changes {
+		out[c.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package delta
+
+import (
+	"testing"
+
+	"evorec/internal/rdf"
+)
+
+// buildBase creates a schema with classes A <- B and property p: B -> A,
+// plus two instances of B.
+func buildBase() *rdf.Graph {
+	g := rdf.NewGraph()
+	a, b, p := rdf.SchemaIRI("A"), rdf.SchemaIRI("B"), rdf.SchemaIRI("p")
+	g.Add(rdf.T(a, rdf.RDFType, rdf.RDFSClass))
+	g.Add(rdf.T(b, rdf.RDFType, rdf.RDFSClass))
+	g.Add(rdf.T(b, rdf.RDFSSubClassOf, a))
+	g.Add(rdf.T(p, rdf.RDFType, rdf.RDFProperty))
+	g.Add(rdf.T(p, rdf.RDFSDomain, b))
+	g.Add(rdf.T(p, rdf.RDFSRange, a))
+	g.Add(rdf.T(rdf.ResourceIRI("x1"), rdf.RDFType, b))
+	g.Add(rdf.T(rdf.ResourceIRI("x2"), rdf.RDFType, b))
+	return g
+}
+
+func kinds(cs []HighLevelChange) map[ChangeKind]int { return CountByKind(cs) }
+
+func TestDetectNoChanges(t *testing.T) {
+	g := buildBase()
+	cs := DetectHighLevel(g, g.Clone())
+	if len(cs) != 0 {
+		t.Fatalf("identical versions must yield no high-level changes, got %v", cs)
+	}
+}
+
+func TestDetectClassAddedDeleted(t *testing.T) {
+	older := buildBase()
+	newer := older.Clone()
+	c := rdf.SchemaIRI("C")
+	newer.Add(rdf.T(c, rdf.RDFType, rdf.RDFSClass))
+	cs := DetectHighLevel(older, newer)
+	if kinds(cs)[ClassAdded] != 1 {
+		t.Fatalf("want 1 class_added, got %v", cs)
+	}
+	// Reverse direction: deletion.
+	cs = DetectHighLevel(newer, older)
+	if kinds(cs)[ClassDeleted] != 1 {
+		t.Fatalf("want 1 class_deleted, got %v", cs)
+	}
+}
+
+func TestDetectPropertyAddedDeleted(t *testing.T) {
+	older := buildBase()
+	newer := older.Clone()
+	q := rdf.SchemaIRI("q")
+	newer.Add(rdf.T(q, rdf.RDFType, rdf.RDFProperty))
+	cs := DetectHighLevel(older, newer)
+	if kinds(cs)[PropertyAdded] != 1 {
+		t.Fatalf("want 1 property_added, got %v", cs)
+	}
+	cs = DetectHighLevel(newer, older)
+	if kinds(cs)[PropertyDeleted] != 1 {
+		t.Fatalf("want 1 property_deleted, got %v", cs)
+	}
+}
+
+func TestDetectSuperClassChanged(t *testing.T) {
+	older := buildBase()
+	newer := older.Clone()
+	b, a := rdf.SchemaIRI("B"), rdf.SchemaIRI("A")
+	c := rdf.SchemaIRI("C")
+	newer.Add(rdf.T(c, rdf.RDFType, rdf.RDFSClass))
+	newer.Remove(rdf.T(b, rdf.RDFSSubClassOf, a))
+	newer.Add(rdf.T(b, rdf.RDFSSubClassOf, c))
+	cs := DetectHighLevel(older, newer)
+	found := false
+	for _, ch := range cs {
+		if ch.Kind == SuperClassChanged && ch.Target == b {
+			found = true
+			if len(ch.From) != 1 || ch.From[0] != a || len(ch.To) != 1 || ch.To[0] != c {
+				t.Fatalf("superclass change detail wrong: %v", ch)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("superclass_changed not detected in %v", cs)
+	}
+}
+
+func TestDetectDomainRangeChanged(t *testing.T) {
+	older := buildBase()
+	newer := older.Clone()
+	p, a, b := rdf.SchemaIRI("p"), rdf.SchemaIRI("A"), rdf.SchemaIRI("B")
+	newer.Remove(rdf.T(p, rdf.RDFSDomain, b))
+	newer.Add(rdf.T(p, rdf.RDFSDomain, a))
+	newer.Remove(rdf.T(p, rdf.RDFSRange, a))
+	newer.Add(rdf.T(p, rdf.RDFSRange, b))
+	k := kinds(DetectHighLevel(older, newer))
+	if k[DomainChanged] != 1 || k[RangeChanged] != 1 {
+		t.Fatalf("want domain_changed and range_changed, got %v", k)
+	}
+}
+
+func TestDetectInstanceChanges(t *testing.T) {
+	older := buildBase()
+	newer := older.Clone()
+	b := rdf.SchemaIRI("B")
+	newer.Add(rdf.T(rdf.ResourceIRI("x3"), rdf.RDFType, b))
+	newer.Add(rdf.T(rdf.ResourceIRI("x4"), rdf.RDFType, b))
+	cs := DetectHighLevel(older, newer)
+	for _, ch := range cs {
+		if ch.Kind == InstancesAdded && ch.Target == b {
+			if ch.Count != 2 {
+				t.Fatalf("instances_added count = %d, want 2", ch.Count)
+			}
+			return
+		}
+	}
+	t.Fatalf("instances_added not detected in %v", cs)
+}
+
+func TestDetectInstancesDeleted(t *testing.T) {
+	older := buildBase()
+	newer := older.Clone()
+	newer.Remove(rdf.T(rdf.ResourceIRI("x2"), rdf.RDFType, rdf.SchemaIRI("B")))
+	cs := DetectHighLevel(older, newer)
+	for _, ch := range cs {
+		if ch.Kind == InstancesDeleted && ch.Count == 1 {
+			return
+		}
+	}
+	t.Fatalf("instances_deleted not detected in %v", cs)
+}
+
+func TestDetectLabelChanged(t *testing.T) {
+	older := buildBase()
+	a := rdf.SchemaIRI("A")
+	older.Add(rdf.T(a, rdf.RDFSLabel, rdf.NewLiteral("Alpha")))
+	newer := older.Clone()
+	newer.Remove(rdf.T(a, rdf.RDFSLabel, rdf.NewLiteral("Alpha")))
+	newer.Add(rdf.T(a, rdf.RDFSLabel, rdf.NewLiteral("AlphaRenamed")))
+	cs := DetectHighLevel(older, newer)
+	if kinds(cs)[LabelChanged] != 1 {
+		t.Fatalf("want 1 label_changed, got %v", cs)
+	}
+}
+
+func TestChangeKindStrings(t *testing.T) {
+	all := []ChangeKind{
+		ClassAdded, ClassDeleted, PropertyAdded, PropertyDeleted,
+		SuperClassChanged, DomainChanged, RangeChanged,
+		InstancesAdded, InstancesDeleted, LabelChanged,
+	}
+	seen := make(map[string]bool)
+	for _, k := range all {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("ChangeKind %d has empty/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if ChangeKind(200).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestHighLevelChangeString(t *testing.T) {
+	c := HighLevelChange{Kind: InstancesAdded, Target: rdf.SchemaIRI("B"), Count: 3}
+	if got := c.String(); got != "instances_added(B, 3)" {
+		t.Fatalf("String() = %q", got)
+	}
+	c2 := HighLevelChange{
+		Kind:   SuperClassChanged,
+		Target: rdf.SchemaIRI("B"),
+		From:   []rdf.Term{rdf.SchemaIRI("A")},
+		To:     []rdf.Term{rdf.SchemaIRI("C")},
+	}
+	if got := c2.String(); got != "superclass_changed(B, [A] -> [C])" {
+		t.Fatalf("String() = %q", got)
+	}
+	c3 := HighLevelChange{Kind: ClassAdded, Target: rdf.SchemaIRI("D")}
+	if got := c3.String(); got != "class_added(D)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"evorec/internal/archive"
+	"evorec/internal/measures"
+	"evorec/internal/summary"
+	"evorec/internal/synth"
+	"evorec/internal/trend"
+)
+
+// E11ChangeTrends (Table 7) analyzes change trends over the whole version
+// chain — the "observe changes trends" promise of the paper's introduction:
+// per-class change-count series are classified into trend shapes and the
+// hottest / fastest-rising classes are reported.
+func E11ChangeTrends(p Params) (string, error) {
+	ds, err := BuildDataset(p)
+	if err != nil {
+		return "", err
+	}
+	a, err := trend.Analyze(ds.Versions, measures.ChangeCount{})
+	if err != nil {
+		return "", err
+	}
+	t := newTable("E11 / Table 7 — change trends over the version chain (" + itoa(len(a.PairIDs)) + " pairs)")
+	t.rowf("entities tracked\t%d", a.Len())
+	counts := a.ShapeCounts()
+	shapes := make([]trend.Shape, 0, len(counts))
+	for sh := range counts {
+		shapes = append(shapes, sh)
+	}
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i] < shapes[j] })
+	t.row("")
+	t.row("shape", "entities")
+	for _, sh := range shapes {
+		t.rowf("%s\t%d", sh, counts[sh])
+	}
+	t.row("")
+	t.row("top-5 by cumulative change:", "")
+	for _, s := range a.TopTotal(5) {
+		t.rowf("  %s\ttotal=%.0f shape=%s", s.Term.Local(), s.Total(), s.Classify())
+	}
+	t.row("")
+	t.row("top-5 rising:", "")
+	for _, s := range a.TopRising(5) {
+		t.rowf("  %s\tslope=%.1f shape=%s", s.Term.Local(), s.Slope(), s.Classify())
+	}
+	t.row("")
+	t.row("shape check: the localized evolution leaves most classes quiet while")
+	t.row("the burst regions register as bursty/rising/steady series.")
+	return t.String(), nil
+}
+
+// A3ArchivePolicies ablates the archiving policies the storage layer
+// supports (after the paper's reference [13]): storage footprint vs full
+// reconstruction time for full snapshots, a delta chain, and the hybrid.
+func A3ArchivePolicies(p Params) (string, error) {
+	ds, err := BuildDataset(p)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("A3 — archiving policies: storage vs reconstruction (versions=" + itoa(ds.Versions.Len()) + ")")
+	t.row("policy", "bytes", "relative", "load_ms")
+	var baseline int64
+	for _, pol := range []archive.Policy{archive.FullSnapshots, archive.Hybrid, archive.DeltaChain} {
+		dir, err := tempDir("evorec-a3-" + pol.String())
+		if err != nil {
+			return "", err
+		}
+		man, err := archive.Save(dir, ds.Versions, archive.Options{Policy: pol, SnapshotEvery: 2})
+		if err != nil {
+			return "", err
+		}
+		size, err := archive.DiskUsage(dir, man)
+		if err != nil {
+			return "", err
+		}
+		start := time.Now()
+		back, err := archive.Load(dir)
+		if err != nil {
+			return "", err
+		}
+		loadMs := time.Since(start).Seconds() * 1000
+		if back.Len() != ds.Versions.Len() {
+			t.row("WARNING: reconstruction lost versions")
+		}
+		if pol == archive.FullSnapshots {
+			baseline = size
+		}
+		rel := float64(size) / float64(baseline)
+		t.rowf("%s\t%d\t%.2f\t%.1f", pol, size, rel, loadMs)
+		cleanupDir(dir)
+	}
+	t.row("")
+	t.row("shape check: the delta chain stores a fraction of the snapshot bytes")
+	t.row("and pays for it with chain-replay reconstruction; hybrid sits between.")
+	return t.String(), nil
+}
+
+// tempDir creates a fresh temporary directory for an ablation run.
+func tempDir(prefix string) (string, error) {
+	return os.MkdirTemp("", prefix)
+}
+
+// cleanupDir removes an ablation directory, ignoring errors (temp space).
+func cleanupDir(dir string) { os.RemoveAll(dir) }
+
+// A4SummaryCoverage ablates the schema-summarization substrate (after the
+// paper's reference [15]): summary size k against instance coverage and the
+// number of linking classes needed to keep the summary connected.
+func A4SummaryCoverage(p Params) (string, error) {
+	vs, _, err := synth.GenerateVersions(p.KB, synth.EvolveConfig{Ops: 0}, 0, p.Seed)
+	if err != nil {
+		return "", err
+	}
+	g := vs.At(0).Graph
+	t := newTable("A4 — schema summary size vs instance coverage")
+	t.row("k", "selected", "linking", "edges", "instance_coverage")
+	for _, k := range []int{5, 10, 20, 40} {
+		s, err := summary.Summarize(g, k)
+		if err != nil {
+			return "", err
+		}
+		t.rowf("%d\t%d\t%d\t%d\t%.3f",
+			k, len(s.Selected), len(s.Linking), len(s.Edges), s.InstanceCoverage)
+	}
+	t.row("")
+	t.row("shape check: coverage grows steeply at small k (Zipf-skewed instances")
+	t.row("concentrate on few classes) and saturates; linking stays small.")
+	return t.String(), nil
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment pairs an experiment ID with its runner.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E10, A1, A2).
+	ID string
+	// Title summarizes what the experiment shows.
+	Title string
+	// Run produces the formatted table.
+	Run func(Params) (string, error)
+}
+
+// All returns the full experiment suite in report order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Delta statistics (Table 1)", E1DeltaStatistics},
+		{"E2", "Measure complementarity (Table 2, Figure 1)", E2MeasureComplementarity},
+		{"E3", "Neighborhood vs direct change (Figure 2)", E3NeighborhoodLocality},
+		{"E4", "Relatedness quality (Table 3)", E4RelatednessQuality},
+		{"E5", "Diversity trade-off (Figure 3)", E5DiversityTradeoff},
+		{"E6", "Group fairness (Table 4)", E6GroupFairness},
+		{"E7", "Fair re-ranking (Figure 4)", E7FairReranking},
+		{"E8", "Anonymity vs utility (Table 5)", E8AnonymityUtility},
+		{"E9", "Scalability (Figure 5)", E9Scalability},
+		{"E10", "Provenance overhead (Table 6)", E10ProvenanceOverhead},
+		{"E11", "Change trends over the version chain (Table 7)", E11ChangeTrends},
+		{"A1", "Ablation: betweenness sampling", A1BetweennessSampling},
+		{"A2", "Ablation: index variants", A2IndexVariants},
+		{"A3", "Ablation: archiving policies", A3ArchivePolicies},
+		{"A4", "Ablation: summary size vs coverage", A4SummaryCoverage},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes the whole suite, streaming each table to w.
+func RunAll(w io.Writer, p Params) error {
+	for _, e := range All() {
+		out, err := e.Run(p)
+		if err != nil {
+			return fmt.Errorf("exp: %s failed: %w", e.ID, err)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

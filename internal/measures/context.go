@@ -1,0 +1,75 @@
+package measures
+
+import (
+	"evorec/internal/delta"
+	"evorec/internal/graphx"
+	"evorec/internal/rdf"
+	"evorec/internal/schema"
+	"evorec/internal/semantics"
+)
+
+// Context carries everything a measure may need about one (older, newer)
+// version pair: the raw graphs, the extracted schemas, the low-level delta
+// with its attribution, the semantic analyzers and the class-level
+// structural graphs. Building a Context is the expensive step; evaluating
+// the individual measures on it is cheap, so the engine builds one Context
+// per version pair and evaluates the whole measure set against it.
+type Context struct {
+	Older, Newer             *rdf.Version
+	OlderSchema, NewerSchema *schema.Schema
+	Delta                    *delta.Delta
+	Attr                     *delta.Attribution
+	OlderSem, NewerSem       *semantics.Analyzer
+	OlderStruct, NewerStruct *graphx.Graph
+}
+
+// NewContext computes all derived structures for the version pair.
+func NewContext(older, newer *rdf.Version) *Context {
+	so := schema.Extract(older.Graph)
+	sn := schema.Extract(newer.Graph)
+	d := delta.ComputeVersions(older, newer)
+	return &Context{
+		Older:       older,
+		Newer:       newer,
+		OlderSchema: so,
+		NewerSchema: sn,
+		Delta:       d,
+		Attr:        delta.Attribute(d),
+		OlderSem:    semantics.NewAnalyzer(older.Graph, so),
+		NewerSem:    semantics.NewAnalyzer(newer.Graph, sn),
+		OlderStruct: graphx.FromAdjacency(so.ClassGraph()),
+		NewerStruct: graphx.FromAdjacency(sn.ClassGraph()),
+	}
+}
+
+// UnionClasses returns the classes present in either version, sorted.
+func (c *Context) UnionClasses() []rdf.Term {
+	return unionTerms(c.OlderSchema.ClassTerms(), c.NewerSchema.ClassTerms())
+}
+
+// UnionProperties returns the properties present in either version, sorted.
+func (c *Context) UnionProperties() []rdf.Term {
+	return unionTerms(c.OlderSchema.PropertyTerms(), c.NewerSchema.PropertyTerms())
+}
+
+// UnionNeighbors returns the paper's two-version neighborhood N_{V1,V2}(n):
+// the union of n's schema neighborhoods in the older and newer versions.
+func (c *Context) UnionNeighbors(n rdf.Term) []rdf.Term {
+	return unionTerms(c.OlderSchema.Neighbors(n), c.NewerSchema.Neighbors(n))
+}
+
+func unionTerms(a, b []rdf.Term) []rdf.Term {
+	set := make(map[rdf.Term]struct{}, len(a)+len(b))
+	for _, t := range a {
+		set[t] = struct{}{}
+	}
+	for _, t := range b {
+		set[t] = struct{}{}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	rdf.SortTerms(out)
+	return out
+}

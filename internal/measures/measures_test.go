@@ -1,0 +1,284 @@
+package measures
+
+import (
+	"fmt"
+	"testing"
+
+	"evorec/internal/rdf"
+)
+
+// versionPair builds a controlled evolution:
+//
+// v1 schema: Root <- {Hot, Cold, Edge}; link: Hot -> Cold; instances on all.
+// v2: Hot gains instances and links, Hot is re-parented under Edge, a new
+// class Fresh appears, Cold is untouched except through neighborhood.
+func versionPair() (*rdf.Version, *rdf.Version) {
+	g1 := rdf.NewGraph()
+	root, hot, cold, edge := term("Root"), term("Hot"), term("Cold"), term("Edge")
+	link := term("link")
+	for _, c := range []rdf.Term{root, hot, cold, edge} {
+		g1.Add(rdf.T(c, rdf.RDFType, rdf.RDFSClass))
+	}
+	g1.Add(rdf.T(hot, rdf.RDFSSubClassOf, root))
+	g1.Add(rdf.T(cold, rdf.RDFSSubClassOf, root))
+	g1.Add(rdf.T(edge, rdf.RDFSSubClassOf, root))
+	g1.Add(rdf.T(link, rdf.RDFSDomain, hot))
+	g1.Add(rdf.T(link, rdf.RDFSRange, cold))
+	for i := 0; i < 3; i++ {
+		h := rdf.ResourceIRI(fmt.Sprintf("h%d", i))
+		c := rdf.ResourceIRI(fmt.Sprintf("c%d", i))
+		g1.Add(rdf.T(h, rdf.RDFType, hot))
+		g1.Add(rdf.T(c, rdf.RDFType, cold))
+		g1.Add(rdf.T(h, link, c))
+	}
+	g1.Add(rdf.T(rdf.ResourceIRI("e0"), rdf.RDFType, edge))
+
+	g2 := g1.Clone()
+	// Re-parent Hot, add a class, add instances+links to Hot.
+	g2.Remove(rdf.T(hot, rdf.RDFSSubClassOf, root))
+	g2.Add(rdf.T(hot, rdf.RDFSSubClassOf, edge))
+	fresh := term("Fresh")
+	g2.Add(rdf.T(fresh, rdf.RDFType, rdf.RDFSClass))
+	// New links target an Edge instance: this changes the class-pair link
+	// distribution (relative cardinality is a proportion, so links that only
+	// scale an existing edge would leave semantic centrality untouched).
+	for i := 3; i < 8; i++ {
+		h := rdf.ResourceIRI(fmt.Sprintf("h%d", i))
+		g2.Add(rdf.T(h, rdf.RDFType, hot))
+		g2.Add(rdf.T(h, term("link"), rdf.ResourceIRI("e0")))
+	}
+	v1 := &rdf.Version{ID: "v1", Graph: g1}
+	v2 := &rdf.Version{ID: "v2", Graph: g2}
+	return v1, v2
+}
+
+func TestNewContextPopulated(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	if ctx.Delta.IsEmpty() {
+		t.Fatal("delta must not be empty")
+	}
+	if ctx.OlderSchema.NumClasses() != 4 || ctx.NewerSchema.NumClasses() != 5 {
+		t.Fatalf("schema class counts = %d,%d want 4,5",
+			ctx.OlderSchema.NumClasses(), ctx.NewerSchema.NumClasses())
+	}
+	if len(ctx.UnionClasses()) != 5 {
+		t.Fatalf("union classes = %v", ctx.UnionClasses())
+	}
+	if len(ctx.UnionProperties()) != 1 {
+		t.Fatalf("union properties = %v", ctx.UnionProperties())
+	}
+}
+
+func TestUnionNeighborsCoversBothVersions(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	// Hot's neighborhood: Root (v1 super), Edge (v2 super), Cold (link range).
+	ns := ctx.UnionNeighbors(term("Hot"))
+	want := map[rdf.Term]bool{term("Root"): true, term("Edge"): true, term("Cold"): true}
+	if len(ns) != len(want) {
+		t.Fatalf("UnionNeighbors(Hot) = %v", ns)
+	}
+	for _, n := range ns {
+		if !want[n] {
+			t.Fatalf("unexpected neighbor %v", n)
+		}
+	}
+}
+
+func TestChangeCountConcentratesOnHot(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := ChangeCount{}.Compute(ctx)
+	if s[term("Hot")] <= s[term("Cold")] {
+		t.Fatalf("Hot (%g) must out-change Cold (%g)", s[term("Hot")], s[term("Cold")])
+	}
+	// Fresh appeared: exactly 1 triple mentions it.
+	if s[term("Fresh")] != 1 {
+		t.Fatalf("Fresh change count = %g, want 1", s[term("Fresh")])
+	}
+	// link property got 5 new usages + score covers property population.
+	if s[term("link")] < 5 {
+		t.Fatalf("link change count = %g, want >= 5", s[term("link")])
+	}
+}
+
+func TestNeighborhoodChangeCountSeesAdjacentBurst(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := NeighborhoodChangeCount{}.Compute(ctx)
+	// Cold itself changed little, but its neighbor Hot burst: Cold's
+	// neighborhood score must exceed its own direct change count.
+	direct := ChangeCount{}.Compute(ctx)
+	if s[term("Cold")] <= direct[term("Cold")] {
+		t.Fatalf("neighborhood count (%g) must exceed direct count (%g) for Cold",
+			s[term("Cold")], direct[term("Cold")])
+	}
+	// Isolated Fresh has no neighbors in either version.
+	if s[term("Fresh")] != 0 {
+		t.Fatalf("Fresh neighborhood count = %g, want 0", s[term("Fresh")])
+	}
+}
+
+func TestBetweennessShiftDetectsRewiring(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := BetweennessShift{}.Compute(ctx)
+	// Re-parenting Hot under Edge changes Edge's betweenness (it becomes a
+	// path vertex between Hot and Root).
+	if s[term("Edge")] == 0 {
+		t.Fatalf("Edge betweenness shift must be non-zero; scores=%v", s)
+	}
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("rewiring must shift some betweenness")
+	}
+}
+
+func TestBridgingShiftNonNegativeAndCoversClasses(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := BridgingShift{}.Compute(ctx)
+	if len(s) != len(ctx.UnionClasses()) {
+		t.Fatalf("bridging shift must cover all union classes: %d vs %d",
+			len(s), len(ctx.UnionClasses()))
+	}
+	for c, v := range s {
+		if v < 0 {
+			t.Fatalf("negative shift for %v", c)
+		}
+	}
+}
+
+func TestCentralityShiftTracksLinkGrowth(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := CentralityShift{}.Compute(ctx)
+	// Hot gained 5 links to a new target class: its link distribution (and
+	// the targets') shifted, while Root saw no instance-level change.
+	if s[term("Hot")] == 0 || s[term("Edge")] == 0 {
+		t.Fatalf("Hot (%g) and Edge (%g) centrality must shift", s[term("Hot")], s[term("Edge")])
+	}
+	if s[term("Root")] != 0 {
+		t.Fatalf("Root centrality shift = %g, want 0", s[term("Root")])
+	}
+}
+
+func TestRelevanceShiftCapturesInstanceWeight(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := RelevanceShift{}.Compute(ctx)
+	if s[term("Hot")] == 0 {
+		t.Fatal("Hot relevance must shift after instance growth")
+	}
+	for c, v := range s {
+		if v < 0 {
+			t.Fatalf("negative relevance shift for %v", c)
+		}
+	}
+}
+
+func TestPropertyCentralityShift(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	s := PropertyCentralityShift{}.Compute(ctx)
+	if s[term("link")] == 0 {
+		t.Fatal("link property centrality must shift")
+	}
+	if len(s) != 1 {
+		t.Fatalf("property shift population = %v", s)
+	}
+}
+
+func TestIdenticalVersionsAllZero(t *testing.T) {
+	v1, _ := versionPair()
+	v1b := &rdf.Version{ID: "v1b", Graph: v1.Graph.Clone()}
+	ctx := NewContext(v1, v1b)
+	for _, m := range DefaultSet() {
+		s := m.Compute(ctx)
+		for c, v := range s {
+			if v != 0 {
+				t.Fatalf("measure %s: identical versions must score 0, got %s=%g",
+					m.ID(), c.Local(), v)
+			}
+		}
+	}
+}
+
+func TestMeasureMetadata(t *testing.T) {
+	ids := make(map[string]bool)
+	for _, m := range DefaultSet() {
+		if m.ID() == "" || m.Name() == "" || m.Description() == "" {
+			t.Fatalf("measure %T missing metadata", m)
+		}
+		if ids[m.ID()] {
+			t.Fatalf("duplicate measure ID %q", m.ID())
+		}
+		ids[m.ID()] = true
+		_ = m.Target().String()
+	}
+	if !ids["change_count"] || !ids["relevance_shift"] {
+		t.Fatal("default set must include the paper's measures")
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if Classes.String() != "classes" || Properties.String() != "properties" ||
+		ClassesAndProperties.String() != "classes+properties" {
+		t.Fatal("Target.String mismatch")
+	}
+	if Target(99).String() == "" {
+		t.Fatal("unknown target must render")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != len(DefaultSet()) {
+		t.Fatalf("registry len = %d", r.Len())
+	}
+	if _, ok := r.Get("change_count"); !ok {
+		t.Fatal("change_count must be registered")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("unknown measure must be absent")
+	}
+	if err := r.Register(ChangeCount{}); err == nil {
+		t.Fatal("duplicate register must fail")
+	}
+	all := r.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID() >= all[i].ID() {
+			t.Fatal("All() must be sorted by ID")
+		}
+	}
+}
+
+func TestRegistryEvaluateAll(t *testing.T) {
+	v1, v2 := versionPair()
+	ctx := NewContext(v1, v2)
+	r := NewRegistry()
+	res := r.EvaluateAll(ctx)
+	if len(res) != r.Len() {
+		t.Fatalf("EvaluateAll returned %d results, want %d", len(res), r.Len())
+	}
+	for id, s := range res {
+		if len(s) == 0 {
+			t.Fatalf("measure %s produced empty scores", id)
+		}
+	}
+}
+
+type badMeasure struct{ Measure }
+
+func (badMeasure) ID() string { return "" }
+
+func TestRegistryRejectsEmptyID(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(badMeasure{}); err == nil {
+		t.Fatal("empty-ID measure must be rejected")
+	}
+}

@@ -1,0 +1,166 @@
+package measures
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evorec/internal/rdf"
+)
+
+func term(s string) rdf.Term { return rdf.SchemaIRI(s) }
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	s := Scores{term("B"): 2, term("A"): 2, term("C"): 5}
+	r := s.Rank()
+	if r[0].Term != term("C") {
+		t.Fatalf("rank[0] = %v, want C", r[0].Term)
+	}
+	// Tie between A and B broken by term order.
+	if r[1].Term != term("A") || r[2].Term != term("B") {
+		t.Fatalf("tie break wrong: %v", r.Terms())
+	}
+}
+
+func TestTopKAndPositionOf(t *testing.T) {
+	s := Scores{term("A"): 3, term("B"): 2, term("C"): 1}
+	r := s.Rank()
+	if got := r.TopK(2); len(got) != 2 || got[0].Term != term("A") {
+		t.Fatalf("TopK(2) = %v", got)
+	}
+	if got := r.TopK(10); len(got) != 3 {
+		t.Fatalf("TopK over length = %v", got)
+	}
+	if r.PositionOf(term("B")) != 1 {
+		t.Fatalf("PositionOf(B) = %d, want 1", r.PositionOf(term("B")))
+	}
+	if r.PositionOf(term("Z")) != -1 {
+		t.Fatal("PositionOf(absent) must be -1")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Scores{term("A"): 4, term("B"): 2, term("C"): 0}
+	n := s.Normalize()
+	if n[term("A")] != 1 || n[term("B")] != 0.5 || n[term("C")] != 0 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	zero := Scores{term("A"): 0}
+	if got := zero.Normalize(); got[term("A")] != 0 {
+		t.Fatal("all-zero Normalize must stay zero")
+	}
+}
+
+func TestTotalNonZero(t *testing.T) {
+	s := Scores{term("A"): 4, term("B"): 0, term("C"): 1}
+	if s.Total() != 5 {
+		t.Fatalf("Total = %g", s.Total())
+	}
+	if s.NonZero() != 2 {
+		t.Fatalf("NonZero = %d", s.NonZero())
+	}
+}
+
+func TestTopKJaccard(t *testing.T) {
+	a := Scores{term("A"): 3, term("B"): 2, term("C"): 1}.Rank()
+	b := Scores{term("A"): 9, term("D"): 5, term("B"): 1}.Rank()
+	// top-2: {A,B} vs {A,D} -> 1/3.
+	if got := TopKJaccard(a, b, 2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("Jaccard = %g, want 1/3", got)
+	}
+	if got := TopKJaccard(a, a, 3); got != 1 {
+		t.Fatalf("self Jaccard = %g, want 1", got)
+	}
+	if got := TopKJaccard(Ranking{}, Ranking{}, 5); got != 1 {
+		t.Fatalf("empty Jaccard = %g, want 1", got)
+	}
+	disjointA := Scores{term("A"): 1}.Rank()
+	disjointB := Scores{term("B"): 1}.Rank()
+	if got := TopKJaccard(disjointA, disjointB, 1); got != 0 {
+		t.Fatalf("disjoint Jaccard = %g, want 0", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	u := []rdf.Term{term("A"), term("B"), term("C")}
+	s1 := Scores{term("A"): 3, term("B"): 2, term("C"): 1}
+	if got := KendallTau(s1, s1, u); got != 1 {
+		t.Fatalf("self tau = %g, want 1", got)
+	}
+	rev := Scores{term("A"): 1, term("B"): 2, term("C"): 3}
+	if got := KendallTau(s1, rev, u); got != -1 {
+		t.Fatalf("reversed tau = %g, want -1", got)
+	}
+	if got := KendallTau(s1, rev, u[:1]); got != 0 {
+		t.Fatalf("tiny universe tau = %g, want 0", got)
+	}
+	// Ties contribute zero.
+	tied := Scores{term("A"): 1, term("B"): 1, term("C"): 0}
+	got := KendallTau(s1, tied, u)
+	// pairs: (A,B): s1 diff>0, tied diff=0 -> 0; (A,C): +,+ -> +1; (B,C): +,+ -> +1.
+	want := 2.0 / 3.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tied tau = %g, want %g", got, want)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	u := []rdf.Term{term("A"), term("B"), term("C"), term("D")}
+	s1 := Scores{term("A"): 1, term("B"): 2, term("C"): 3, term("D"): 4}
+	s2 := Scores{term("A"): 2, term("B"): 4, term("C"): 6, term("D"): 8}
+	if got := PearsonCorrelation(s1, s2, u); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("linear corr = %g, want 1", got)
+	}
+	neg := Scores{term("A"): 4, term("B"): 3, term("C"): 2, term("D"): 1}
+	if got := PearsonCorrelation(s1, neg, u); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti corr = %g, want -1", got)
+	}
+	flat := Scores{term("A"): 5, term("B"): 5, term("C"): 5, term("D"): 5}
+	if got := PearsonCorrelation(s1, flat, u); got != 0 {
+		t.Fatalf("zero-variance corr = %g, want 0", got)
+	}
+}
+
+// Property: KendallTau is symmetric and bounded.
+func TestKendallTauBoundsProperty(t *testing.T) {
+	f := func(v1, v2 [6]uint8) bool {
+		u := []rdf.Term{term("A"), term("B"), term("C"), term("D"), term("E"), term("F")}
+		s1, s2 := Scores{}, Scores{}
+		for i, x := range u {
+			s1[x] = float64(v1[i])
+			s2[x] = float64(v2[i])
+		}
+		tau := KendallTau(s1, s2, u)
+		if tau < -1 || tau > 1 {
+			return false
+		}
+		return math.Abs(tau-KendallTau(s2, s1, u)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Rank is a permutation with non-increasing scores.
+func TestRankMonotoneProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		s := Scores{}
+		for i, v := range vals {
+			s[rdf.ResourceIRI(fmt.Sprintf("t%d", i))] = float64(v)
+		}
+		r := s.Rank()
+		if len(r) != len(s) {
+			return false
+		}
+		for i := 1; i < len(r); i++ {
+			if r[i-1].Score < r[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"evorec/internal/rdf"
+)
+
+// persisted is the JSON wire form of a profile. Interests are stored as
+// IRI-keyed weights; the seen history is carried along so novelty-aware
+// recommendation state survives a round trip.
+type persisted struct {
+	ID        string             `json:"id"`
+	Interests map[string]float64 `json:"interests"`
+	Seen      map[string]int     `json:"seen,omitempty"`
+}
+
+// WriteJSON serializes the profile. Only IRI-termed interests are
+// persisted (literals and blanks carry no cross-session identity); the
+// output is deterministic (sorted keys via encoding/json map ordering).
+func (p *Profile) WriteJSON(w io.Writer) error {
+	out := persisted{
+		ID:        p.ID,
+		Interests: make(map[string]float64, len(p.Interests)),
+		Seen:      make(map[string]int, len(p.seen)),
+	}
+	for t, v := range p.Interests {
+		if t.IsIRI() {
+			out.Interests[t.Value] = v
+		}
+	}
+	for m, n := range p.seen {
+		out.Seen[m] = n
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("profile: encoding %s: %w", p.ID, err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var in persisted
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	if in.ID == "" {
+		return nil, fmt.Errorf("profile: decoded profile has no ID")
+	}
+	p := New(in.ID)
+	for iri, w := range in.Interests {
+		if w < 0 {
+			return nil, fmt.Errorf("profile: negative weight %g for %s", w, iri)
+		}
+		p.SetInterest(rdf.NewIRI(iri), w)
+	}
+	for m, n := range in.Seen {
+		if n < 0 {
+			return nil, fmt.Errorf("profile: negative seen count for %s", m)
+		}
+		p.seen[m] = n
+	}
+	return p, nil
+}
+
+// SortedInterestIRIs lists the persisted interest IRIs in sorted order,
+// mainly for reports and tests.
+func (p *Profile) SortedInterestIRIs() []string {
+	out := make([]string, 0, len(p.Interests))
+	for t := range p.Interests {
+		if t.IsIRI() {
+			out = append(out, t.Value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

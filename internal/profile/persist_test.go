@@ -1,0 +1,88 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"evorec/internal/rdf"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := New("alice")
+	p.SetInterest(term("Person"), 1)
+	p.SetInterest(term("Place"), 0.25)
+	p.MarkSeen("change_count")
+	p.MarkSeen("change_count")
+	p.MarkSeen("relevance_shift")
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "alice" {
+		t.Fatalf("ID = %s", back.ID)
+	}
+	if back.InterestIn(term("Person")) != 1 || back.InterestIn(term("Place")) != 0.25 {
+		t.Fatalf("interests = %v", back.Interests)
+	}
+	if back.SeenCount("change_count") != 2 || back.SeenCount("relevance_shift") != 1 {
+		t.Fatal("seen history lost")
+	}
+}
+
+func TestProfileJSONSkipsNonIRIs(t *testing.T) {
+	p := New("u")
+	p.SetInterest(term("Keep"), 1)
+	p.SetInterest(rdf.NewLiteral("drop"), 1)
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Interests) != 1 {
+		t.Fatalf("interests = %v, want only the IRI", back.Interests)
+	}
+	iris := p.SortedInterestIRIs()
+	if len(iris) != 1 || !strings.HasSuffix(iris[0], "Keep") {
+		t.Fatalf("SortedInterestIRIs = %v", iris)
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := []string{
+		`{`,                               // malformed
+		`{"interests":{}}`,                // missing ID
+		`{"id":"u","interests":{"x":-1}}`, // negative weight
+		`{"id":"u","seen":{"m":-2}}`,      // negative seen
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q must fail", in)
+		}
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	p := New("u")
+	for _, n := range []string{"C", "A", "B"} {
+		p.SetInterest(term(n), 1)
+	}
+	var a, b bytes.Buffer
+	if err := p.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteJSON must be deterministic")
+	}
+}

@@ -1,0 +1,340 @@
+// Package query implements a small basic-graph-pattern query engine over
+// the RDF substrate: triple patterns with named variables, selectivity-
+// ordered joins, filters, projection, ordering and top-k limits. The
+// paper's relatedness perspective builds on top-k query processing (its
+// reference [6]); this package supplies that capability for exploring
+// versions and deltas — e.g. "all classes under Agent with more than N
+// instances" or "resources that moved between classes".
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"evorec/internal/rdf"
+)
+
+// Atom is one position of a triple pattern: either a concrete term or a
+// named variable.
+type Atom struct {
+	// Term is the concrete value; ignored when Var is set.
+	Term rdf.Term
+	// Var is the variable name (without '?'); empty means concrete.
+	Var string
+}
+
+// IsVar reports whether the atom is a variable.
+func (a Atom) IsVar() bool { return a.Var != "" }
+
+// V returns a variable atom.
+func V(name string) Atom { return Atom{Var: name} }
+
+// C returns a concrete atom.
+func C(t rdf.Term) Atom { return Atom{Term: t} }
+
+// Pattern is one triple pattern of a basic graph pattern.
+type Pattern struct {
+	S, P, O Atom
+}
+
+// String renders the pattern in a SPARQL-like syntax.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s %s %s .", atomString(p.S), atomString(p.P), atomString(p.O))
+}
+
+func atomString(a Atom) string {
+	if a.IsVar() {
+		return "?" + a.Var
+	}
+	return a.Term.String()
+}
+
+// Binding maps variable names to terms.
+type Binding map[string]rdf.Term
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Filter tests a (possibly partial) binding; bindings failing any filter
+// are pruned as soon as all the filter's variables are bound.
+type Filter struct {
+	// Vars lists the variables the test reads.
+	Vars []string
+	// Test returns whether the binding passes.
+	Test func(Binding) bool
+}
+
+// Query is a basic graph pattern with optional filters, projection,
+// ordering and limit.
+type Query struct {
+	// Patterns is the BGP, joined on shared variables.
+	Patterns []Pattern
+	// Filters prune bindings.
+	Filters []Filter
+	// Select projects the named variables (empty selects all, sorted).
+	Select []string
+	// OrderBy sorts results by this variable's term order (optional).
+	OrderBy string
+	// Descending flips the OrderBy direction.
+	Descending bool
+	// Limit caps the result count (0 = no limit).
+	Limit int
+}
+
+// Validate reports structural errors: empty BGP, predicates that are
+// literals, projections or order keys over unknown variables.
+func (q *Query) Validate() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("query: empty basic graph pattern")
+	}
+	vars := q.variables()
+	for _, v := range q.Select {
+		if _, ok := vars[v]; !ok {
+			return fmt.Errorf("query: projected variable ?%s not in pattern", v)
+		}
+	}
+	if q.OrderBy != "" {
+		if _, ok := vars[q.OrderBy]; !ok {
+			return fmt.Errorf("query: order variable ?%s not in pattern", q.OrderBy)
+		}
+	}
+	for _, f := range q.Filters {
+		for _, v := range f.Vars {
+			if _, ok := vars[v]; !ok {
+				return fmt.Errorf("query: filter variable ?%s not in pattern", v)
+			}
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("query: negative limit")
+	}
+	return nil
+}
+
+func (q *Query) variables() map[string]struct{} {
+	vars := make(map[string]struct{})
+	for _, p := range q.Patterns {
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if a.IsVar() {
+				vars[a.Var] = struct{}{}
+			}
+		}
+	}
+	return vars
+}
+
+// Result is the ordered variable list and the matched rows.
+type Result struct {
+	// Vars is the projected variable order.
+	Vars []string
+	// Rows holds one term per Var per match.
+	Rows [][]rdf.Term
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Run evaluates the query against the graph.
+func Run(g *rdf.Graph, q *Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	order := planOrder(g, q.Patterns)
+	var bindings []Binding
+	initial := Binding{}
+	if b, ok := applyFiltersEarly(q, initial, nil); ok {
+		bindings = evaluate(g, q, order, 0, b)
+	}
+
+	// Projection order.
+	vars := q.Select
+	if len(vars) == 0 {
+		all := q.variables()
+		for v := range all {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+	}
+
+	res := &Result{Vars: vars}
+	for _, b := range bindings {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Deterministic order: OrderBy if set, else full row order.
+	orderIdx := -1
+	if q.OrderBy != "" {
+		for i, v := range vars {
+			if v == q.OrderBy {
+				orderIdx = i
+			}
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		if orderIdx >= 0 {
+			if c := a[orderIdx].Compare(b[orderIdx]); c != 0 {
+				if q.Descending {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		for k := range a {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// planOrder orders the patterns by estimated selectivity against g: fewer
+// matches first, so joins stay narrow. Bound positions use the graph's
+// actual counts with all variables treated as wildcards.
+func planOrder(g *rdf.Graph, ps []Pattern) []int {
+	type cost struct {
+		idx int
+		n   int
+	}
+	costs := make([]cost, len(ps))
+	for i, p := range ps {
+		costs[i] = cost{idx: i, n: g.CountMatch(atomWildcard(p.S), atomWildcard(p.P), atomWildcard(p.O))}
+	}
+	sort.SliceStable(costs, func(a, b int) bool { return costs[a].n < costs[b].n })
+	out := make([]int, len(ps))
+	for i, c := range costs {
+		out[i] = c.idx
+	}
+	return out
+}
+
+func atomWildcard(a Atom) rdf.Term {
+	if a.IsVar() {
+		return rdf.Term{}
+	}
+	return a.Term
+}
+
+// evaluate recursively extends bindings pattern by pattern.
+func evaluate(g *rdf.Graph, q *Query, order []int, depth int, b Binding) []Binding {
+	if depth == len(order) {
+		return []Binding{b}
+	}
+	p := q.Patterns[order[depth]]
+	s := resolveAtom(p.S, b)
+	pr := resolveAtom(p.P, b)
+	o := resolveAtom(p.O, b)
+	var out []Binding
+	g.ForEachMatch(s, pr, o, func(t rdf.Triple) bool {
+		nb := b.clone()
+		if !bindAtom(nb, p.S, t.S) || !bindAtom(nb, p.P, t.P) || !bindAtom(nb, p.O, t.O) {
+			return true
+		}
+		pruned, ok := applyFiltersEarly(q, nb, b)
+		if !ok {
+			return true
+		}
+		out = append(out, evaluate(g, q, order, depth+1, pruned)...)
+		return true
+	})
+	return out
+}
+
+// resolveAtom turns an atom into a match term under the current binding.
+func resolveAtom(a Atom, b Binding) rdf.Term {
+	if !a.IsVar() {
+		return a.Term
+	}
+	if t, ok := b[a.Var]; ok {
+		return t
+	}
+	return rdf.Term{}
+}
+
+// bindAtom records a variable binding, rejecting conflicts (the same
+// variable matching two different terms within one pattern).
+func bindAtom(b Binding, a Atom, t rdf.Term) bool {
+	if !a.IsVar() {
+		return true
+	}
+	if prev, ok := b[a.Var]; ok {
+		return prev == t
+	}
+	b[a.Var] = t
+	return true
+}
+
+// applyFiltersEarly evaluates every filter whose variables are all bound in
+// nb but were not all bound in prev (so each filter runs once, as early as
+// possible). It returns ok=false when a filter rejects.
+func applyFiltersEarly(q *Query, nb Binding, prev Binding) (Binding, bool) {
+	for _, f := range q.Filters {
+		allNow := true
+		allBefore := prev != nil
+		for _, v := range f.Vars {
+			if _, ok := nb[v]; !ok {
+				allNow = false
+				break
+			}
+			if prev != nil {
+				if _, ok := prev[v]; !ok {
+					allBefore = false
+				}
+			}
+		}
+		if allNow && !allBefore {
+			if !f.Test(nb) {
+				return nil, false
+			}
+		}
+	}
+	return nb, true
+}
+
+// String renders the query in a SPARQL-like syntax, for logs and reports.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + v)
+		}
+	}
+	b.WriteString(" WHERE { ")
+	for _, p := range q.Patterns {
+		b.WriteString(p.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString("}")
+	if q.OrderBy != "" {
+		b.WriteString(" ORDER BY ?" + q.OrderBy)
+		if q.Descending {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

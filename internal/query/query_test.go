@@ -1,0 +1,305 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"evorec/internal/rdf"
+)
+
+// fixture: a small org chart.
+//
+//	alice worksFor acme;   knows bob
+//	bob   worksFor acme;   knows carol
+//	carol worksFor globex
+//	acme/globex typed Company; people typed Person
+func fixture() *rdf.Graph {
+	g := rdf.NewGraph()
+	person, company := rdf.SchemaIRI("Person"), rdf.SchemaIRI("Company")
+	worksFor, knows := rdf.SchemaIRI("worksFor"), rdf.SchemaIRI("knows")
+	alice, bob, carol := rdf.ResourceIRI("alice"), rdf.ResourceIRI("bob"), rdf.ResourceIRI("carol")
+	acme, globex := rdf.ResourceIRI("acme"), rdf.ResourceIRI("globex")
+	for _, x := range []rdf.Term{alice, bob, carol} {
+		g.Add(rdf.T(x, rdf.RDFType, person))
+	}
+	g.Add(rdf.T(acme, rdf.RDFType, company))
+	g.Add(rdf.T(globex, rdf.RDFType, company))
+	g.Add(rdf.T(alice, worksFor, acme))
+	g.Add(rdf.T(bob, worksFor, acme))
+	g.Add(rdf.T(carol, worksFor, globex))
+	g.Add(rdf.T(alice, knows, bob))
+	g.Add(rdf.T(bob, knows, carol))
+	return g
+}
+
+func TestSinglePattern(t *testing.T) {
+	g := fixture()
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{{V("x"), C(rdf.RDFType), C(rdf.SchemaIRI("Person"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("persons = %d, want 3", res.Len())
+	}
+	if len(res.Vars) != 1 || res.Vars[0] != "x" {
+		t.Fatalf("vars = %v", res.Vars)
+	}
+}
+
+func TestJoinAcrossPatterns(t *testing.T) {
+	g := fixture()
+	// People working for acme who know someone.
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{
+			{V("p"), C(rdf.SchemaIRI("worksFor")), C(rdf.ResourceIRI("acme"))},
+			{V("p"), C(rdf.SchemaIRI("knows")), V("q")},
+		},
+		Select: []string{"p", "q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // alice knows bob; bob knows carol
+		t.Fatalf("rows = %d, want 2: %v", res.Len(), res.Rows)
+	}
+}
+
+func TestTransitiveStylePattern(t *testing.T) {
+	g := fixture()
+	// Two-hop acquaintance: x knows y, y knows z.
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{
+			{V("x"), C(rdf.SchemaIRI("knows")), V("y")},
+			{V("y"), C(rdf.SchemaIRI("knows")), V("z")},
+		},
+		Select: []string{"x", "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("two-hop rows = %d, want 1", res.Len())
+	}
+	if res.Rows[0][0] != rdf.ResourceIRI("alice") || res.Rows[0][1] != rdf.ResourceIRI("carol") {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestSharedVariableWithinPattern(t *testing.T) {
+	g := fixture()
+	g.Add(rdf.T(rdf.ResourceIRI("self"), rdf.SchemaIRI("knows"), rdf.ResourceIRI("self")))
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{{V("x"), C(rdf.SchemaIRI("knows")), V("x")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.ResourceIRI("self") {
+		t.Fatalf("self-loop rows = %v", res.Rows)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	g := fixture()
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{{C(rdf.ResourceIRI("alice")), V("p"), V("o")}},
+		Select:   []string{"p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 { // type, worksFor, knows
+		t.Fatalf("alice facts = %d, want 3", res.Len())
+	}
+}
+
+func TestFilterPruning(t *testing.T) {
+	g := fixture()
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{{V("p"), C(rdf.SchemaIRI("worksFor")), V("c")}},
+		Filters: []Filter{{
+			Vars: []string{"c"},
+			Test: func(b Binding) bool { return b["c"] == rdf.ResourceIRI("globex") },
+		}},
+		Select: []string{"p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.ResourceIRI("carol") {
+		t.Fatalf("filtered rows = %v", res.Rows)
+	}
+}
+
+func TestFilterRunsOncePerBinding(t *testing.T) {
+	g := fixture()
+	calls := 0
+	_, err := Run(g, &Query{
+		Patterns: []Pattern{
+			{V("p"), C(rdf.SchemaIRI("worksFor")), V("c")},
+			{V("p"), C(rdf.RDFType), V("t")},
+		},
+		Filters: []Filter{{
+			Vars: []string{"p"},
+			Test: func(b Binding) bool { calls++; return true },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p binds in the first evaluated pattern; the filter must fire once per
+	// distinct p-binding event, not once per joined row... with 3 workers
+	// and selectivity ordering both patterns have 3 matches; either order
+	// gives exactly 3 filter calls.
+	if calls != 3 {
+		t.Fatalf("filter calls = %d, want 3", calls)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	g := fixture()
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{{V("p"), C(rdf.SchemaIRI("worksFor")), V("c")}},
+		Select:   []string{"p"},
+		OrderBy:  "p",
+		Limit:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("limit rows = %d", res.Len())
+	}
+	if res.Rows[0][0].Compare(res.Rows[1][0]) >= 0 {
+		t.Fatal("ascending order violated")
+	}
+	desc, err := Run(g, &Query{
+		Patterns:   []Pattern{{V("p"), C(rdf.SchemaIRI("worksFor")), V("c")}},
+		Select:     []string{"p"},
+		OrderBy:    "p",
+		Descending: true,
+		Limit:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Rows[0][0] != rdf.ResourceIRI("carol") {
+		t.Fatalf("descending top = %v", desc.Rows[0][0])
+	}
+}
+
+func TestDeterministicWithoutOrderBy(t *testing.T) {
+	g := fixture()
+	q := &Query{Patterns: []Pattern{{V("s"), V("p"), V("o")}}}
+	a, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("row order must be deterministic")
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := fixture()
+	cases := []struct {
+		name string
+		q    *Query
+	}{
+		{"empty BGP", &Query{}},
+		{"unknown projection", &Query{
+			Patterns: []Pattern{{V("x"), V("p"), V("o")}},
+			Select:   []string{"nope"},
+		}},
+		{"unknown order var", &Query{
+			Patterns: []Pattern{{V("x"), V("p"), V("o")}},
+			OrderBy:  "nope",
+		}},
+		{"unknown filter var", &Query{
+			Patterns: []Pattern{{V("x"), V("p"), V("o")}},
+			Filters:  []Filter{{Vars: []string{"nope"}, Test: func(Binding) bool { return true }}},
+		}},
+		{"negative limit", &Query{
+			Patterns: []Pattern{{V("x"), V("p"), V("o")}},
+			Limit:    -1,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Run(g, c.q); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := &Query{
+		Patterns: []Pattern{{V("x"), C(rdf.RDFType), C(rdf.SchemaIRI("Person"))}},
+		Select:   []string{"x"},
+		OrderBy:  "x",
+		Limit:    5,
+	}
+	s := q.String()
+	for _, want := range []string{"SELECT ?x", "WHERE", "?x", "Person", "ORDER BY ?x", "LIMIT 5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("query string %q missing %q", s, want)
+		}
+	}
+	star := &Query{Patterns: []Pattern{{V("x"), V("p"), V("o")}}}
+	if !strings.Contains(star.String(), "SELECT *") {
+		t.Fatal("empty projection must render as *")
+	}
+}
+
+func TestSelectivityPlanning(t *testing.T) {
+	// A graph where one pattern is very selective: planner must still give
+	// correct results regardless of pattern order in the query.
+	g := rdf.NewGraph()
+	p, q := rdf.SchemaIRI("p"), rdf.SchemaIRI("q")
+	target := rdf.ResourceIRI("t")
+	for i := 0; i < 100; i++ {
+		g.Add(rdf.T(rdf.ResourceIRI(fmt.Sprintf("x%d", i)), p, rdf.ResourceIRI(fmt.Sprintf("y%d", i))))
+	}
+	g.Add(rdf.T(rdf.ResourceIRI("x5"), q, target))
+
+	for _, patterns := range [][]Pattern{
+		{{V("x"), C(p), V("y")}, {V("x"), C(q), C(target)}},
+		{{V("x"), C(q), C(target)}, {V("x"), C(p), V("y")}},
+	} {
+		res, err := Run(g, &Query{Patterns: patterns, Select: []string{"x", "y"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 1 || res.Rows[0][0] != rdf.ResourceIRI("x5") {
+			t.Fatalf("rows = %v", res.Rows)
+		}
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	g := fixture()
+	res, err := Run(g, &Query{
+		Patterns: []Pattern{{V("x"), C(rdf.SchemaIRI("absent")), V("y")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", res.Len())
+	}
+}

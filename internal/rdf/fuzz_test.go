@@ -1,0 +1,59 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTripleLine checks the parser invariants on arbitrary input: it
+// must never panic, and anything it accepts must re-serialize and re-parse
+// to the same triple (the round-trip invariant backing the archive layer).
+// Under plain `go test` the seed corpus runs as unit cases; `go test
+// -fuzz=FuzzParseTripleLine ./internal/rdf` explores further.
+func FuzzParseTripleLine(f *testing.F) {
+	seeds := []string{
+		"<http://x/s> <http://x/p> <http://x/o> .",
+		`<http://x/s> <http://x/p> "lit" .`,
+		`<http://x/s> <http://x/p> "l\"it\\"@en .`,
+		`<http://x/s> <http://x/p> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"_:a <http://x/p> _:b .",
+		"# comment",
+		"",
+		"   ",
+		"<http://x/s> <http://x/p> <http://x/o> . # trailing",
+		"malformed",
+		`<s> <p> "unterminated`,
+		`<s> <p> "A" .`,
+		`<s> <p> "\U0001F600" .`,
+		"<s> <p> \"x\"@en-GB .",
+		"_:a.b-c_d <p> _:z .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, ok, err := ParseTripleLine(line, 1)
+		if err != nil || !ok {
+			return // rejected input is fine; panics are not
+		}
+		// Round-trip invariant.
+		re := tr.String()
+		tr2, ok2, err2 := ParseTripleLine(re, 1)
+		if err2 != nil || !ok2 {
+			t.Fatalf("accepted triple failed to re-parse: %q -> %q (%v)", line, re, err2)
+		}
+		if tr2 != tr {
+			t.Fatalf("round trip changed the triple: %v vs %v", tr, tr2)
+		}
+		// Accepted triples must satisfy N-Triples constraints.
+		if tr.S.IsLiteral() {
+			t.Fatalf("accepted literal subject from %q", line)
+		}
+		if !tr.P.IsIRI() {
+			t.Fatalf("accepted non-IRI predicate from %q", line)
+		}
+		if strings.ContainsAny(tr.S.Value+tr.P.Value, " ") && tr.S.IsIRI() {
+			t.Fatalf("accepted IRI with space from %q", line)
+		}
+	})
+}

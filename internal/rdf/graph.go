@@ -1,0 +1,291 @@
+package rdf
+
+// Graph is an in-memory triple store indexed on all three positions
+// (SPO, POS, OSP). The tri-index makes every single-bound pattern a direct
+// map lookup, which the measure layer depends on: delta attribution looks up
+// by subject and by object, schema extraction by predicate.
+//
+// The zero value is not ready to use; call NewGraph. Graph is not safe for
+// concurrent mutation; concurrent readers are safe once mutation stops.
+type Graph struct {
+	spo index
+	pos index
+	osp index
+	n   int
+}
+
+// index is a three-level nested map: first key -> second key -> set of third.
+type index map[Term]map[Term]termSet
+
+type termSet map[Term]struct{}
+
+func (ix index) add(a, b, c Term) bool {
+	m, ok := ix[a]
+	if !ok {
+		m = make(map[Term]termSet)
+		ix[a] = m
+	}
+	s, ok := m[b]
+	if !ok {
+		s = make(termSet)
+		m[b] = s
+	}
+	if _, dup := s[c]; dup {
+		return false
+	}
+	s[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c Term) bool {
+	m, ok := ix[a]
+	if !ok {
+		return false
+	}
+	s, ok := m[b]
+	if !ok {
+		return false
+	}
+	if _, ok := s[c]; !ok {
+		return false
+	}
+	delete(s, c)
+	if len(s) == 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(index),
+		pos: make(index),
+		osp: make(index),
+	}
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.n }
+
+// Add inserts the triple and reports whether it was not already present.
+func (g *Graph) Add(t Triple) bool {
+	if !g.spo.add(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.add(t.P, t.O, t.S)
+	g.osp.add(t.O, t.S, t.P)
+	g.n++
+	return true
+}
+
+// AddAll inserts every triple in ts and returns the number actually added.
+func (g *Graph) AddAll(ts []Triple) int {
+	added := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes the triple and reports whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if !g.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.remove(t.P, t.O, t.S)
+	g.osp.remove(t.O, t.S, t.P)
+	g.n--
+	return true
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(t Triple) bool {
+	if m, ok := g.spo[t.S]; ok {
+		if s, ok := m[t.P]; ok {
+			_, ok := s[t.O]
+			return ok
+		}
+	}
+	return false
+}
+
+// Match returns all triples matching the pattern, where a zero (wildcard)
+// Term matches any term at that position. The result order is unspecified;
+// callers needing determinism sort with SortTriples.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	var out []Triple
+	g.ForEachMatch(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// CountMatch returns the number of triples matching the pattern without
+// materializing them.
+func (g *Graph) CountMatch(s, p, o Term) int {
+	n := 0
+	g.ForEachMatch(s, p, o, func(Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachMatch streams every triple matching the pattern to fn, stopping
+// early if fn returns false. It selects the most selective index for the
+// bound positions.
+func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
+	sb, pb, ob := !s.IsWildcard(), !p.IsWildcard(), !o.IsWildcard()
+	switch {
+	case sb && pb && ob:
+		if g.Has(Triple{s, p, o}) {
+			fn(Triple{s, p, o})
+		}
+	case sb && pb:
+		for obj := range g.spo[s][p] {
+			if !fn(Triple{s, p, obj}) {
+				return
+			}
+		}
+	case sb && ob:
+		for pred := range g.osp[o][s] {
+			if !fn(Triple{s, pred, o}) {
+				return
+			}
+		}
+	case pb && ob:
+		for sub := range g.pos[p][o] {
+			if !fn(Triple{sub, p, o}) {
+				return
+			}
+		}
+	case sb:
+		for pred, objs := range g.spo[s] {
+			for obj := range objs {
+				if !fn(Triple{s, pred, obj}) {
+					return
+				}
+			}
+		}
+	case pb:
+		for obj, subs := range g.pos[p] {
+			for sub := range subs {
+				if !fn(Triple{sub, p, obj}) {
+					return
+				}
+			}
+		}
+	case ob:
+		for sub, preds := range g.osp[o] {
+			for pred := range preds {
+				if !fn(Triple{sub, pred, o}) {
+					return
+				}
+			}
+		}
+	default:
+		for sub, preds := range g.spo {
+			for pred, objs := range preds {
+				for obj := range objs {
+					if !fn(Triple{sub, pred, obj}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Triples returns every triple in the graph in unspecified order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.n)
+	g.ForEachMatch(Term{}, Term{}, Term{}, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Subjects returns the distinct subjects of triples matching (?, p, o).
+func (g *Graph) Subjects(p, o Term) []Term {
+	set := make(termSet)
+	g.ForEachMatch(Term{}, p, o, func(t Triple) bool {
+		set[t.S] = struct{}{}
+		return true
+	})
+	return setToSlice(set)
+}
+
+// Objects returns the distinct objects of triples matching (s, p, ?).
+func (g *Graph) Objects(s, p Term) []Term {
+	set := make(termSet)
+	g.ForEachMatch(s, p, Term{}, func(t Triple) bool {
+		set[t.O] = struct{}{}
+		return true
+	})
+	return setToSlice(set)
+}
+
+// Predicates returns the distinct predicates appearing in the graph.
+func (g *Graph) Predicates() []Term {
+	out := make([]Term, 0, len(g.pos))
+	for p := range g.pos {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Clone returns a deep, independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	g.ForEachMatch(Term{}, Term{}, Term{}, func(t Triple) bool {
+		c.Add(t)
+		return true
+	})
+	return c
+}
+
+// Mentions reports whether term x occurs in any position of any triple.
+func (g *Graph) Mentions(x Term) bool {
+	if _, ok := g.spo[x]; ok {
+		return true
+	}
+	if _, ok := g.pos[x]; ok {
+		return true
+	}
+	_, ok := g.osp[x]
+	return ok
+}
+
+// DegreeOut returns the number of triples with subject s.
+func (g *Graph) DegreeOut(s Term) int {
+	n := 0
+	for _, objs := range g.spo[s] {
+		n += len(objs)
+	}
+	return n
+}
+
+// DegreeIn returns the number of triples with object o.
+func (g *Graph) DegreeIn(o Term) int {
+	n := 0
+	for _, preds := range g.osp[o] {
+		n += len(preds)
+	}
+	return n
+}
+
+func setToSlice(s termSet) []Term {
+	out := make([]Term, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package rdf provides the RDF substrate for evorec: terms, triples, an
+// indexed in-memory graph store, N-Triples I/O, the RDF/S vocabulary used by
+// the schema layer, and a version store for evolving datasets.
+//
+// The package is deliberately self-contained (stdlib only) and optimized for
+// the access patterns of evolution analysis: pattern matching with any
+// combination of bound positions, fast set difference between versions, and
+// deterministic iteration for reproducible experiments.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the kinds of RDF terms. The zero value is Any, which
+// acts as a wildcard in graph pattern matching; a zero Term therefore means
+// "match anything at this position".
+type Kind uint8
+
+const (
+	// Any is the wildcard kind used in pattern matching.
+	Any Kind = iota
+	// IRI identifies an IRI reference term.
+	IRI
+	// Blank identifies a blank node with a local label.
+	Blank
+	// Literal identifies a literal with optional datatype or language tag.
+	Literal
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Any:
+		return "any"
+	case IRI:
+		return "iri"
+	case Blank:
+		return "blank"
+	case Literal:
+		return "literal"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Term is a single RDF term. Terms are small comparable values and may be
+// used directly as map keys. The zero Term is the pattern wildcard.
+type Term struct {
+	// Kind discriminates the term kind; Any means wildcard.
+	Kind Kind
+	// Value holds the IRI, the blank node label, or the literal lexical form.
+	Value string
+	// Datatype holds the datatype IRI for typed literals, empty otherwise.
+	Datatype string
+	// Lang holds the language tag for language-tagged literals.
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewBlank returns a blank node term with the given label (without "_:").
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(value string) Term { return Term{Kind: Literal, Value: value} }
+
+// NewTypedLiteral returns a literal with a datatype IRI.
+func NewTypedLiteral(value, datatype string) Term {
+	return Term{Kind: Literal, Value: value, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(value, lang string) Term {
+	return Term{Kind: Literal, Value: value, Lang: lang}
+}
+
+// IsWildcard reports whether the term is the pattern wildcard.
+func (t Term) IsWildcard() bool { return t.Kind == Any }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// Local returns the local name of an IRI: the suffix after the last '#' or
+// '/'. For non-IRI terms it returns Value unchanged. It is a display helper
+// used by reports and examples.
+func (t Term) Local() string {
+	if t.Kind != IRI {
+		return t.Value
+	}
+	v := t.Value
+	if i := strings.LastIndexAny(v, "#/"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// Compare orders terms by kind, then value, then datatype, then language.
+// It returns -1, 0, or +1, suitable for sort functions.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, u.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, u.Lang)
+}
+
+// String renders the term in N-Triples syntax. Wildcards render as "?".
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	default:
+		return "?"
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind Kind
+	}{
+		{"iri", NewIRI("http://x/a"), IRI},
+		{"blank", NewBlank("b1"), Blank},
+		{"plain literal", NewLiteral("hi"), Literal},
+		{"typed literal", NewTypedLiteral("3", XSDInteger), Literal},
+		{"lang literal", NewLangLiteral("hi", "en"), Literal},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind != c.kind {
+				t.Fatalf("kind = %v, want %v", c.term.Kind, c.kind)
+			}
+			if c.term.IsWildcard() {
+				t.Fatalf("constructed term must not be wildcard")
+			}
+		})
+	}
+}
+
+func TestZeroTermIsWildcard(t *testing.T) {
+	var z Term
+	if !z.IsWildcard() {
+		t.Fatal("zero Term must be the wildcard")
+	}
+	if z.IsIRI() || z.IsBlank() || z.IsLiteral() {
+		t.Fatal("wildcard must not claim a concrete kind")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/a"), "<http://x/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewTypedLiteral("3", XSDInteger), `"3"^^<` + XSDInteger + `>`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewLiteral("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+		{Term{}, "?"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTermLocal(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/path/Person"), "Person"},
+		{NewIRI("http://x/ns#Agent"), "Agent"},
+		{NewIRI("noSeparator"), "noSeparator"},
+		{NewLiteral("lit"), "lit"},
+	}
+	for _, c := range cases {
+		if got := c.term.Local(); got != c.want {
+			t.Errorf("Local(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermCompareTotalOrder(t *testing.T) {
+	a := NewIRI("http://x/a")
+	b := NewIRI("http://x/b")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Fatal("Compare must be a strict total order on distinct IRIs")
+	}
+	// Kind dominates value.
+	if NewIRI("zzz").Compare(NewLiteral("aaa")) >= 0 {
+		t.Fatal("IRI kind must sort before Literal kind")
+	}
+	// Datatype and lang break ties.
+	if NewTypedLiteral("1", XSDInteger).Compare(NewTypedLiteral("1", XSDString)) == 0 {
+		t.Fatal("datatype must participate in ordering")
+	}
+	if NewLangLiteral("x", "de").Compare(NewLangLiteral("x", "en")) == 0 {
+		t.Fatal("language must participate in ordering")
+	}
+}
+
+func TestTermCompareAntisymmetryProperty(t *testing.T) {
+	f := func(v1, v2, dt1, dt2 string) bool {
+		t1 := Term{Kind: Literal, Value: v1, Datatype: dt1}
+		t2 := Term{Kind: Literal, Value: v2, Datatype: dt2}
+		c12, c21 := t1.Compare(t2), t2.Compare(t1)
+		if t1 == t2 {
+			return c12 == 0 && c21 == 0
+		}
+		return c12 == -c21 && c12 != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := T(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("o"))
+	want := `<http://x/s> <http://x/p> "o" .`
+	if got := tr.String(); got != want {
+		t.Fatalf("Triple.String() = %q, want %q", got, want)
+	}
+}
+
+func TestTripleMentions(t *testing.T) {
+	s, p, o := NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o")
+	tr := T(s, p, o)
+	for _, x := range []Term{s, p, o} {
+		if !tr.Mentions(x) {
+			t.Errorf("Mentions(%v) = false, want true", x)
+		}
+	}
+	if tr.Mentions(NewIRI("http://x/other")) {
+		t.Error("Mentions(unrelated) = true, want false")
+	}
+}
+
+func TestSortTriplesDeterministic(t *testing.T) {
+	a := T(NewIRI("http://x/a"), RDFType, RDFSClass)
+	b := T(NewIRI("http://x/b"), RDFType, RDFSClass)
+	c := T(NewIRI("http://x/a"), RDFSLabel, NewLiteral("A"))
+	ts := []Triple{b, c, a}
+	SortTriples(ts)
+	if ts[0] != c && ts[0].S != a.S {
+		t.Fatalf("unexpected sort head: %v", ts[0])
+	}
+	// Sorted by S then P: both a-triples precede b.
+	if ts[2] != b {
+		t.Fatalf("b must sort last, got %v", ts[2])
+	}
+	if ts[0].Compare(ts[1]) > 0 || ts[1].Compare(ts[2]) > 0 {
+		t.Fatal("SortTriples produced unsorted output")
+	}
+}

@@ -1,0 +1,55 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Triple is a single RDF statement. Triples are comparable values and may be
+// used as map keys, which the delta engine relies on for set difference.
+type Triple struct {
+	S, P, O Term
+}
+
+// T is shorthand for constructing a triple.
+func T(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax (with trailing " .").
+func (t Triple) String() string {
+	var b strings.Builder
+	b.WriteString(t.S.String())
+	b.WriteByte(' ')
+	b.WriteString(t.P.String())
+	b.WriteByte(' ')
+	b.WriteString(t.O.String())
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Compare orders triples by subject, predicate, then object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// Mentions reports whether term x occurs in any position of the triple.
+func (t Triple) Mentions(x Term) bool {
+	return t.S == x || t.P == x || t.O == x
+}
+
+// SortTriples sorts the slice in subject/predicate/object order, in place.
+// It is used wherever deterministic output is required (serialization,
+// experiment tables, tests).
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// SortTerms sorts terms with Term.Compare, in place.
+func SortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

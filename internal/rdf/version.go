@@ -1,0 +1,100 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Version is a named snapshot of a knowledge base. Versions are immutable by
+// convention once registered in a VersionStore: the analysis layers cache
+// derived structures (schemas, centralities) keyed by version ID.
+type Version struct {
+	// ID is the unique version identifier (e.g. "v3" or "2016-04").
+	ID string
+	// Graph holds the full snapshot contents.
+	Graph *Graph
+	// Timestamp records when the version was created, if known.
+	Timestamp time.Time
+	// Comment is free-form metadata about the version.
+	Comment string
+}
+
+// VersionStore keeps an ordered sequence of versions of one dataset. The
+// order of registration is the evolution order; Pairs walks consecutive
+// version pairs, which is the unit of every evolution measure.
+//
+// The zero value is not ready to use; call NewVersionStore.
+type VersionStore struct {
+	byID  map[string]*Version
+	order []string
+}
+
+// NewVersionStore returns an empty store.
+func NewVersionStore() *VersionStore {
+	return &VersionStore{byID: make(map[string]*Version)}
+}
+
+// Add registers a version. It returns an error if the ID is empty, the graph
+// is nil, or the ID is already registered.
+func (vs *VersionStore) Add(v *Version) error {
+	if v == nil || v.ID == "" {
+		return fmt.Errorf("rdf: version must have a non-empty ID")
+	}
+	if v.Graph == nil {
+		return fmt.Errorf("rdf: version %q must have a graph", v.ID)
+	}
+	if _, dup := vs.byID[v.ID]; dup {
+		return fmt.Errorf("rdf: version %q already registered", v.ID)
+	}
+	vs.byID[v.ID] = v
+	vs.order = append(vs.order, v.ID)
+	return nil
+}
+
+// Get returns the version with the given ID.
+func (vs *VersionStore) Get(id string) (*Version, bool) {
+	v, ok := vs.byID[id]
+	return v, ok
+}
+
+// Len returns the number of registered versions.
+func (vs *VersionStore) Len() int { return len(vs.order) }
+
+// IDs returns the version IDs in registration (evolution) order.
+func (vs *VersionStore) IDs() []string {
+	out := make([]string, len(vs.order))
+	copy(out, vs.order)
+	return out
+}
+
+// At returns the i-th version in evolution order.
+func (vs *VersionStore) At(i int) *Version {
+	return vs.byID[vs.order[i]]
+}
+
+// Latest returns the most recently registered version, or nil if empty.
+func (vs *VersionStore) Latest() *Version {
+	if len(vs.order) == 0 {
+		return nil
+	}
+	return vs.byID[vs.order[len(vs.order)-1]]
+}
+
+// Pairs invokes fn for each consecutive (older, newer) version pair in
+// evolution order, stopping early if fn returns false.
+func (vs *VersionStore) Pairs(fn func(older, newer *Version) bool) {
+	for i := 1; i < len(vs.order); i++ {
+		if !fn(vs.byID[vs.order[i-1]], vs.byID[vs.order[i]]) {
+			return
+		}
+	}
+}
+
+// SortedIDs returns the version IDs sorted lexicographically; useful for
+// deterministic reporting when registration order is not meaningful.
+func (vs *VersionStore) SortedIDs() []string {
+	out := vs.IDs()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,85 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestVersionStoreAddGet(t *testing.T) {
+	vs := NewVersionStore()
+	if vs.Len() != 0 || vs.Latest() != nil {
+		t.Fatal("new store must be empty")
+	}
+	v1 := &Version{ID: "v1", Graph: NewGraph()}
+	if err := vs.Add(v1); err != nil {
+		t.Fatalf("Add(v1): %v", err)
+	}
+	got, ok := vs.Get("v1")
+	if !ok || got != v1 {
+		t.Fatal("Get(v1) must return the registered version")
+	}
+	if _, ok := vs.Get("missing"); ok {
+		t.Fatal("Get(missing) must report absence")
+	}
+}
+
+func TestVersionStoreRejectsInvalid(t *testing.T) {
+	vs := NewVersionStore()
+	if err := vs.Add(nil); err == nil {
+		t.Error("Add(nil) must fail")
+	}
+	if err := vs.Add(&Version{ID: "", Graph: NewGraph()}); err == nil {
+		t.Error("Add(empty ID) must fail")
+	}
+	if err := vs.Add(&Version{ID: "v1"}); err == nil {
+		t.Error("Add(nil graph) must fail")
+	}
+	if err := vs.Add(&Version{ID: "v1", Graph: NewGraph()}); err != nil {
+		t.Fatalf("valid Add failed: %v", err)
+	}
+	if err := vs.Add(&Version{ID: "v1", Graph: NewGraph()}); err == nil {
+		t.Error("duplicate ID must fail")
+	}
+}
+
+func TestVersionStoreOrderAndPairs(t *testing.T) {
+	vs := NewVersionStore()
+	for _, id := range []string{"v2", "v1", "v3"} { // registration order != lexical
+		if err := vs.Add(&Version{ID: id, Graph: NewGraph()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := vs.IDs()
+	want := []string{"v2", "v1", "v3"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+	if vs.At(1).ID != "v1" {
+		t.Fatalf("At(1) = %s, want v1", vs.At(1).ID)
+	}
+	if vs.Latest().ID != "v3" {
+		t.Fatalf("Latest() = %s, want v3", vs.Latest().ID)
+	}
+
+	var pairs [][2]string
+	vs.Pairs(func(a, b *Version) bool {
+		pairs = append(pairs, [2]string{a.ID, b.ID})
+		return true
+	})
+	if len(pairs) != 2 || pairs[0] != [2]string{"v2", "v1"} || pairs[1] != [2]string{"v1", "v3"} {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+
+	// Early stop.
+	n := 0
+	vs.Pairs(func(a, b *Version) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Pairs early stop visited %d, want 1", n)
+	}
+
+	sorted := vs.SortedIDs()
+	if sorted[0] != "v1" || sorted[1] != "v2" || sorted[2] != "v3" {
+		t.Fatalf("SortedIDs = %v", sorted)
+	}
+}

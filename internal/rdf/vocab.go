@@ -1,0 +1,36 @@
+package rdf
+
+// Namespaces used throughout the system. The synthetic generator mints terms
+// under NSResource/NSSchema; the RDF/S constants below are the subset of the
+// vocabulary the schema layer interprets.
+const (
+	NSRDF      = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	NSRDFS     = "http://www.w3.org/2000/01/rdf-schema#"
+	NSOWL      = "http://www.w3.org/2002/07/owl#"
+	NSXSD      = "http://www.w3.org/2001/XMLSchema#"
+	NSSchema   = "http://evorec.org/schema/"
+	NSResource = "http://evorec.org/resource/"
+)
+
+// Core RDF/S vocabulary terms.
+var (
+	RDFType           = NewIRI(NSRDF + "type")
+	RDFProperty       = NewIRI(NSRDF + "Property")
+	RDFSClass         = NewIRI(NSRDFS + "Class")
+	RDFSSubClassOf    = NewIRI(NSRDFS + "subClassOf")
+	RDFSSubPropertyOf = NewIRI(NSRDFS + "subPropertyOf")
+	RDFSDomain        = NewIRI(NSRDFS + "domain")
+	RDFSRange         = NewIRI(NSRDFS + "range")
+	RDFSLabel         = NewIRI(NSRDFS + "label")
+	RDFSComment       = NewIRI(NSRDFS + "comment")
+	OWLClass          = NewIRI(NSOWL + "Class")
+	XSDString         = NSXSD + "string"
+	XSDInteger        = NSXSD + "integer"
+	XSDDouble         = NSXSD + "double"
+)
+
+// SchemaIRI mints an IRI in the synthetic schema namespace.
+func SchemaIRI(local string) Term { return NewIRI(NSSchema + local) }
+
+// ResourceIRI mints an IRI in the synthetic resource namespace.
+func ResourceIRI(local string) Term { return NewIRI(NSResource + local) }

@@ -1,0 +1,186 @@
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+)
+
+// KAnonymize publishes a k-anonymous view of the profile pool (§III-e):
+// profiles are greedily clustered into groups of at least k by interest
+// similarity and every member is replaced by its group centroid, so any
+// published vector is identical for at least k users. The function returns
+// the anonymized profiles (index-aligned with the input) and the group
+// membership as index lists. It fails if k exceeds the pool size.
+func KAnonymize(pool []*profile.Profile, k int) ([]*profile.Profile, [][]int, error) {
+	n := len(pool)
+	if k < 1 {
+		return nil, nil, fmt.Errorf("recommend: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, nil, fmt.Errorf("recommend: k=%d exceeds pool size %d", k, n)
+	}
+	// Deterministic processing order: by profile ID.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pool[order[a]].ID < pool[order[b]].ID })
+
+	assigned := make([]bool, n)
+	var groups [][]int
+	for _, seed := range order {
+		if assigned[seed] {
+			continue
+		}
+		remaining := 0
+		for _, i := range order {
+			if !assigned[i] {
+				remaining++
+			}
+		}
+		if remaining < 2*k {
+			// Close out: all remaining users form the final group, keeping
+			// every group at size >= k.
+			var g []int
+			for _, i := range order {
+				if !assigned[i] {
+					assigned[i] = true
+					g = append(g, i)
+				}
+			}
+			groups = append(groups, g)
+			break
+		}
+		// Seed a group with the k-1 nearest unassigned profiles.
+		assigned[seed] = true
+		g := []int{seed}
+		type cand struct {
+			idx int
+			sim float64
+		}
+		var cands []cand
+		for _, i := range order {
+			if !assigned[i] {
+				cands = append(cands, cand{
+					idx: i,
+					sim: profile.CosineVectors(pool[seed].Interests, pool[i].Interests),
+				})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].sim != cands[b].sim {
+				return cands[a].sim > cands[b].sim
+			}
+			return pool[cands[a].idx].ID < pool[cands[b].idx].ID
+		})
+		for _, c := range cands[:k-1] {
+			assigned[c.idx] = true
+			g = append(g, c.idx)
+		}
+		groups = append(groups, g)
+	}
+
+	out := make([]*profile.Profile, n)
+	for gi, g := range groups {
+		members := make([]*profile.Profile, len(g))
+		for i, idx := range g {
+			members[i] = pool[idx]
+		}
+		centroid := profile.Centroid(fmt.Sprintf("anon-g%d", gi), members)
+		for _, idx := range g {
+			anon := centroid.Clone()
+			anon.ID = pool[idx].ID
+			out[idx] = anon
+		}
+	}
+	return out, groups, nil
+}
+
+// DPPerturb publishes a differentially-private view of one profile: Laplace
+// noise with scale 1/epsilon is added to the profile's weight on every
+// entity of the universe (including zero-weight entities, so the support
+// set itself does not leak), negatives are clamped and exact zeros dropped.
+// Smaller epsilon means stronger privacy and noisier output.
+func DPPerturb(p *profile.Profile, universe []rdf.Term, epsilon float64, rng *rand.Rand) (*profile.Profile, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("recommend: epsilon must be > 0, got %g", epsilon)
+	}
+	out := profile.New(p.ID)
+	scale := 1 / epsilon
+	for _, t := range universe {
+		w := p.InterestIn(t) + laplace(scale, rng)
+		if w > 0 {
+			out.Interests[t] = w
+		}
+	}
+	return out, nil
+}
+
+// laplace samples Laplace(0, scale) via inverse transform.
+func laplace(scale float64, rng *rand.Rand) float64 {
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -scale * math.Log(1-2*u)
+	}
+	return scale * math.Log(1+2*u)
+}
+
+// InterestUniverse returns the union of entities appearing in any profile
+// of the pool, sorted. It is the perturbation universe for DPPerturb.
+func InterestUniverse(pool []*profile.Profile) []rdf.Term {
+	set := make(map[rdf.Term]struct{})
+	for _, p := range pool {
+		for t := range p.Interests {
+			set[t] = struct{}{}
+		}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	rdf.SortTerms(out)
+	return out
+}
+
+// ReidentificationRisk simulates the linkage attack the paper's anonymity
+// discussion warns about: an adversary holding the original profiles links
+// each published (anonymized) profile to the nearest original by cosine
+// similarity. The risk is the fraction of published profiles correctly
+// linked back to their owner, ties resolved in the adversary's favor only
+// when the true owner is the unique nearest. Both slices must be
+// index-aligned.
+func ReidentificationRisk(originals, published []*profile.Profile) float64 {
+	n := len(published)
+	if n == 0 || len(originals) != n {
+		return 0
+	}
+	hits := 0
+	for i, pub := range published {
+		bestSim := math.Inf(-1)
+		bestCount := 0
+		bestIsOwner := false
+		for j, orig := range originals {
+			sim := profile.CosineVectors(pub.Interests, orig.Interests)
+			switch {
+			case sim > bestSim:
+				bestSim = sim
+				bestCount = 1
+				bestIsOwner = j == i
+			case sim == bestSim:
+				bestCount++
+				if j == i {
+					bestIsOwner = true
+				}
+			}
+		}
+		if bestIsOwner && bestCount == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}

@@ -1,0 +1,320 @@
+package recommend
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"evorec/internal/profile"
+)
+
+// clusteredPool builds n profiles in two well-separated interest clusters.
+func clusteredPool(n int) []*profile.Profile {
+	pool := make([]*profile.Profile, n)
+	for i := range pool {
+		p := profile.New(fmt.Sprintf("u%02d", i))
+		if i%2 == 0 {
+			p.SetInterest(term("A"), 1+float64(i)*0.01)
+			p.SetInterest(term("B"), 0.5)
+		} else {
+			p.SetInterest(term("X"), 1+float64(i)*0.01)
+			p.SetInterest(term("Y"), 0.5)
+		}
+		pool[i] = p
+	}
+	return pool
+}
+
+func TestKAnonymizeGroupSizes(t *testing.T) {
+	pool := clusteredPool(10)
+	for _, k := range []int{1, 2, 3, 4} {
+		anon, groups, err := KAnonymize(pool, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(anon) != len(pool) {
+			t.Fatalf("k=%d: anonymized pool size %d", k, len(anon))
+		}
+		covered := 0
+		for _, g := range groups {
+			if len(g) < k {
+				t.Fatalf("k=%d: group of size %d violates k-anonymity", k, len(g))
+			}
+			covered += len(g)
+		}
+		if covered != len(pool) {
+			t.Fatalf("k=%d: groups cover %d of %d profiles", k, covered, len(pool))
+		}
+	}
+}
+
+func TestKAnonymizeMembersShareCentroid(t *testing.T) {
+	pool := clusteredPool(8)
+	anon, groups, err := KAnonymize(pool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		first := anon[g[0]]
+		for _, idx := range g[1:] {
+			if profile.CosineVectors(first.Interests, anon[idx].Interests) < 1-1e-9 {
+				t.Fatal("group members must share an identical published vector")
+			}
+			if len(first.Interests) != len(anon[idx].Interests) {
+				t.Fatal("group members must share the same support")
+			}
+		}
+	}
+	// IDs preserved.
+	for i := range pool {
+		if anon[i].ID != pool[i].ID {
+			t.Fatal("anonymized profiles must keep their index-aligned IDs")
+		}
+	}
+}
+
+func TestKAnonymizeClustersLikeWithLike(t *testing.T) {
+	pool := clusteredPool(8)
+	_, groups, err := KAnonymize(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two clean clusters and k=2, no group should mix clusters (greedy
+	// nearest-neighbor grouping keeps clusters pure here).
+	for _, g := range groups {
+		hasA, hasX := false, false
+		for _, idx := range g {
+			if _, ok := pool[idx].Interests[term("A")]; ok {
+				hasA = true
+			}
+			if _, ok := pool[idx].Interests[term("X")]; ok {
+				hasX = true
+			}
+		}
+		if hasA && hasX {
+			t.Fatalf("group %v mixes clusters", g)
+		}
+	}
+}
+
+func TestKAnonymizeErrors(t *testing.T) {
+	pool := clusteredPool(3)
+	if _, _, err := KAnonymize(pool, 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, _, err := KAnonymize(pool, 4); err == nil {
+		t.Fatal("k > pool must fail")
+	}
+}
+
+func TestReidentificationRiskIdentityPublication(t *testing.T) {
+	pool := clusteredPool(6)
+	// Publishing the originals re-identifies everyone (all distinct).
+	if got := ReidentificationRisk(pool, pool); got != 1 {
+		t.Fatalf("identity publication risk = %g, want 1", got)
+	}
+}
+
+func TestReidentificationRiskDropsWithK(t *testing.T) {
+	pool := clusteredPool(12)
+	risks := make([]float64, 0, 3)
+	for _, k := range []int{1, 3, 6} {
+		anon, _, err := KAnonymize(pool, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		risks = append(risks, ReidentificationRisk(pool, anon))
+	}
+	// k=1 keeps every profile unique (groups of one): full risk.
+	if risks[0] != 1 {
+		t.Fatalf("k=1 risk = %g, want 1", risks[0])
+	}
+	if !(risks[1] < risks[0]) || !(risks[2] <= risks[1]) {
+		t.Fatalf("risk must fall with k: %v", risks)
+	}
+	// Identical published vectors within a group mean at most one member per
+	// group can be uniquely linked: risk is bounded by 1/k.
+	if risks[1] > 1.0/3+1e-9 {
+		t.Fatalf("k=3 risk = %g, want <= 1/3", risks[1])
+	}
+	if risks[2] > 1.0/6+1e-9 {
+		t.Fatalf("k=6 risk = %g, want <= 1/6", risks[2])
+	}
+}
+
+func TestReidentificationRiskEdgeCases(t *testing.T) {
+	if got := ReidentificationRisk(nil, nil); got != 0 {
+		t.Fatalf("empty risk = %g", got)
+	}
+	pool := clusteredPool(4)
+	if got := ReidentificationRisk(pool[:2], pool); got != 0 {
+		t.Fatal("misaligned slices must yield 0")
+	}
+}
+
+func TestDPPerturbBasics(t *testing.T) {
+	pool := clusteredPool(4)
+	universe := InterestUniverse(pool)
+	rng := newRng(3)
+	out, err := DPPerturb(pool[0], universe, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != pool[0].ID {
+		t.Fatal("perturbed profile must keep the ID")
+	}
+	for tm, w := range out.Interests {
+		if w <= 0 {
+			t.Fatalf("perturbed weight for %v = %g, must be positive (zeros dropped)", tm, w)
+		}
+	}
+	if _, err := DPPerturb(pool[0], universe, 0, rng); err == nil {
+		t.Fatal("epsilon=0 must fail")
+	}
+	if _, err := DPPerturb(pool[0], universe, -1, rng); err == nil {
+		t.Fatal("negative epsilon must fail")
+	}
+}
+
+func TestDPPerturbDeterministicWithSeed(t *testing.T) {
+	pool := clusteredPool(4)
+	universe := InterestUniverse(pool)
+	a, _ := DPPerturb(pool[0], universe, 0.5, newRng(42))
+	b, _ := DPPerturb(pool[0], universe, 0.5, newRng(42))
+	if len(a.Interests) != len(b.Interests) {
+		t.Fatal("same seed must produce identical perturbations")
+	}
+	for tm, w := range a.Interests {
+		if math.Abs(b.Interests[tm]-w) > 1e-15 {
+			t.Fatal("same seed must produce identical weights")
+		}
+	}
+}
+
+func TestDPPerturbNoiseScalesWithEpsilon(t *testing.T) {
+	pool := clusteredPool(2)
+	universe := InterestUniverse(pool)
+	devAt := func(eps float64) float64 {
+		rng := newRng(9)
+		total := 0.0
+		n := 200
+		for i := 0; i < n; i++ {
+			out, _ := DPPerturb(pool[0], universe, eps, rng)
+			for _, tm := range universe {
+				d := out.InterestIn(tm) - pool[0].InterestIn(tm)
+				total += math.Abs(d)
+			}
+		}
+		return total / float64(n*len(universe))
+	}
+	loose := devAt(10) // weak privacy, little noise
+	tight := devAt(0.1)
+	if tight <= loose {
+		t.Fatalf("smaller epsilon must add more noise: dev(0.1)=%g dev(10)=%g", tight, loose)
+	}
+}
+
+func TestInterestUniverse(t *testing.T) {
+	pool := clusteredPool(4)
+	u := InterestUniverse(pool)
+	if len(u) != 4 { // A, B, X, Y
+		t.Fatalf("universe = %v, want 4 terms", u)
+	}
+	for i := 1; i < len(u); i++ {
+		if u[i-1].Compare(u[i]) >= 0 {
+			t.Fatal("universe must be sorted")
+		}
+	}
+	if got := InterestUniverse(nil); len(got) != 0 {
+		t.Fatal("empty pool universe must be empty")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	rel := map[string]float64{"a": 3, "b": 2, "c": 1}
+	if got := NDCGAtK([]string{"a", "b", "c"}, rel, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %g, want 1", got)
+	}
+	rev := NDCGAtK([]string{"c", "b", "a"}, rel, 3)
+	if rev >= 1 || rev <= 0 {
+		t.Fatalf("reversed NDCG = %g, want in (0,1)", rev)
+	}
+	if got := NDCGAtK([]string{"x", "y"}, rel, 2); got != 0 {
+		t.Fatalf("irrelevant NDCG = %g, want 0", got)
+	}
+	if got := NDCGAtK([]string{"a"}, map[string]float64{}, 1); got != 0 {
+		t.Fatalf("empty labels NDCG = %g, want 0", got)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	rel := map[string]bool{"a": true, "b": true}
+	ranked := []string{"a", "x", "b", "y"}
+	if got := PrecisionAtK(ranked, rel, 2); got != 0.5 {
+		t.Fatalf("P@2 = %g, want 0.5", got)
+	}
+	if got := RecallAtK(ranked, rel, 3); got != 1 {
+		t.Fatalf("R@3 = %g, want 1", got)
+	}
+	if got := PrecisionAtK(ranked, rel, 0); got != 0 {
+		t.Fatalf("P@0 = %g", got)
+	}
+	if got := RecallAtK(ranked, map[string]bool{}, 2); got != 0 {
+		t.Fatalf("R with empty relevant = %g", got)
+	}
+}
+
+func TestMeasureIDs(t *testing.T) {
+	sel := []Recommendation{{MeasureID: "b"}, {MeasureID: "a"}}
+	ids := MeasureIDs(sel)
+	if ids[0] != "b" || ids[1] != "a" {
+		t.Fatalf("MeasureIDs must preserve rank order: %v", ids)
+	}
+}
+
+// Property: for any pool shape and any valid k, KAnonymize covers every
+// profile exactly once with groups of size >= k and preserves IDs.
+func TestKAnonymizeInvariantsProperty(t *testing.T) {
+	f := func(sizes []uint8, kRaw uint8) bool {
+		n := int(kRaw%10) + 2 + len(sizes)%7 // pool size 2..18
+		pool := make([]*profile.Profile, n)
+		for i := range pool {
+			p := profile.New(fmt.Sprintf("q%03d", i))
+			p.SetInterest(term(fmt.Sprintf("T%d", i%5)), 1+float64(i)*0.1)
+			if i < len(sizes) {
+				p.SetInterest(term(fmt.Sprintf("U%d", sizes[i]%4)), 0.5)
+			}
+			pool[i] = p
+		}
+		k := int(kRaw)%n + 1
+		anon, groups, err := KAnonymize(pool, k)
+		if err != nil {
+			return false
+		}
+		covered := make(map[int]bool)
+		for _, g := range groups {
+			if len(g) < k {
+				return false
+			}
+			for _, idx := range g {
+				if covered[idx] {
+					return false
+				}
+				covered[idx] = true
+			}
+		}
+		if len(covered) != n {
+			return false
+		}
+		for i := range pool {
+			if anon[i].ID != pool[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

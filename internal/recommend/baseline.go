@@ -1,0 +1,35 @@
+package recommend
+
+import (
+	"math/rand"
+)
+
+// RandomTopK is the random baseline used in the relatedness experiments: it
+// returns k items drawn uniformly without replacement, with the sampling
+// order as "score" so that evaluation code can treat all recommenders
+// uniformly.
+func RandomTopK(items []Item, k int, rng *rand.Rand) []Recommendation {
+	idx := rng.Perm(len(items))
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Recommendation, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, Recommendation{
+			MeasureID: items[idx[i]].ID(),
+			Score:     float64(k - i),
+		})
+	}
+	return out
+}
+
+// PopularityTopK is the user-independent popularity baseline: items ranked
+// by the total change mass their measure reports, i.e. the measure that
+// "saw the most change" is recommended to everyone regardless of interests.
+func PopularityTopK(items []Item, k int) []Recommendation {
+	r := rankItems(items, func(it Item) float64 { return it.Scores.Total() })
+	if k < len(r) {
+		r = r[:k]
+	}
+	return r
+}

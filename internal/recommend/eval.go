@@ -1,0 +1,81 @@
+package recommend
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranking-quality metrics used by the experiment harness to compare
+// recommenders against planted ground truth.
+
+// NDCGAtK computes the normalized discounted cumulative gain of a ranked
+// measure-ID list against graded relevance labels. Missing labels count as
+// zero relevance. An all-zero label set yields 0.
+func NDCGAtK(ranked []string, relevance map[string]float64, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	dcg := 0.0
+	for i := 0; i < k; i++ {
+		rel := relevance[ranked[i]]
+		dcg += (math.Pow(2, rel) - 1) / math.Log2(float64(i)+2)
+	}
+	// Ideal DCG over the label set.
+	rels := make([]float64, 0, len(relevance))
+	for _, r := range relevance {
+		rels = append(rels, r)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rels)))
+	idcg := 0.0
+	for i := 0; i < k && i < len(rels); i++ {
+		idcg += (math.Pow(2, rels[i]) - 1) / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// PrecisionAtK is the fraction of the top-k that is relevant.
+func PrecisionAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if relevant[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK is the fraction of the relevant set that appears in the top-k.
+func RecallAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if relevant[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// MeasureIDs extracts the ranked measure IDs of a recommendation list in
+// rank order.
+func MeasureIDs(sel []Recommendation) []string {
+	out := make([]string, len(sel))
+	for i, s := range sel {
+		out[i] = s.MeasureID
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+)
+
+// Contribution is one entity's share of a relatedness score: the user cares
+// about the entity with UserWeight, the measure highlights it with
+// ItemScore, and the product is the entity's term in the relatedness dot
+// product.
+type Contribution struct {
+	// Term is the contributing entity.
+	Term rdf.Term
+	// UserWeight is the user's interest in the entity.
+	UserWeight float64
+	// ItemScore is the measure's normalized score for the entity.
+	ItemScore float64
+	// Product is UserWeight × ItemScore, the entity's contribution.
+	Product float64
+}
+
+// Explain decomposes why an item is related to a user: the top-n entities
+// by contribution to the relatedness dot product, descending, ties broken
+// by term order. It complements the provenance layer: provenance says how a
+// recommendation was computed, Explain says why this measure for this user.
+func Explain(u *profile.Profile, it Item, n int) []Contribution {
+	var out []Contribution
+	for t, w := range u.Interests {
+		s, ok := it.Vector[t]
+		if !ok || s == 0 || w == 0 {
+			continue
+		}
+		out = append(out, Contribution{Term: t, UserWeight: w, ItemScore: s, Product: w * s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Product != out[j].Product {
+			return out[i].Product > out[j].Product
+		}
+		return out[i].Term.Compare(out[j].Term) < 0
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// ExplainText renders an explanation as one human-readable paragraph, e.g.
+//
+//	relevance_shift matches your interests through Person (interest 1.00 ×
+//	change intensity 0.85) and Organization (0.50 × 0.40).
+func ExplainText(u *profile.Profile, it Item, n int) string {
+	cs := Explain(u, it, n)
+	if len(cs) == 0 {
+		return fmt.Sprintf("%s does not overlap with this user's interests.", it.ID())
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%s (interest %.2f × change intensity %.2f)",
+			c.Term.Local(), c.UserWeight, c.ItemScore)
+	}
+	return fmt.Sprintf("%s matches your interests through %s.",
+		it.ID(), strings.Join(parts, " and "))
+}

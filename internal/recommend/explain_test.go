@@ -1,0 +1,59 @@
+package recommend
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"evorec/internal/rdf"
+)
+
+func TestExplainRanksByContribution(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("A"): 1, term("B"): 0.2})
+	cs := Explain(u, items[0], 5) // countA: {A:1, B:0.4}
+	if len(cs) != 2 {
+		t.Fatalf("contributions = %d, want 2", len(cs))
+	}
+	if cs[0].Term != term("A") || cs[1].Term != term("B") {
+		t.Fatalf("order = %v", cs)
+	}
+	if math.Abs(cs[0].Product-1) > 1e-12 || math.Abs(cs[1].Product-0.08) > 1e-12 {
+		t.Fatalf("products = %g, %g", cs[0].Product, cs[1].Product)
+	}
+	// Contributions sum to the unnormalized dot product, which correlates
+	// with relatedness: a sanity link between explanation and score.
+	dot := cs[0].Product + cs[1].Product
+	if dot <= 0 {
+		t.Fatal("explained dot product must be positive for a related item")
+	}
+}
+
+func TestExplainTruncatesAndTies(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("A"): 1, term("B"): 1})
+	cs := Explain(u, items[0], 1)
+	if len(cs) != 1 || cs[0].Term != term("A") {
+		t.Fatalf("truncation wrong: %v", cs)
+	}
+	// No overlap: empty explanation.
+	stranger := userWith(map[rdf.Term]float64{term("Z"): 1})
+	if got := Explain(stranger, items[0], 3); len(got) != 0 {
+		t.Fatalf("unrelated explanation = %v, want empty", got)
+	}
+}
+
+func TestExplainText(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("A"): 1})
+	text := ExplainText(u, items[0], 2)
+	for _, want := range []string{"countA", "A", "interest 1.00"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explanation %q missing %q", text, want)
+		}
+	}
+	stranger := userWith(map[rdf.Term]float64{term("Z"): 1})
+	if !strings.Contains(ExplainText(stranger, items[0], 2), "does not overlap") {
+		t.Fatal("unrelated explanation must say so")
+	}
+}

@@ -1,0 +1,98 @@
+package recommend
+
+import (
+	"testing"
+
+	"evorec/internal/rdf"
+)
+
+func TestNewLearnerValidation(t *testing.T) {
+	for _, rate := range []float64{0, -0.5, 1.5} {
+		if _, err := NewLearner(rate); err == nil {
+			t.Fatalf("rate %g must be rejected", rate)
+		}
+	}
+	if _, err := NewLearner(0.2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptPullsInterestTowardMeasure(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("D"): 0.5}) // mild semD fan
+	l, _ := NewLearner(0.3)
+	before := Relatedness(u, items[0]) // countA: no overlap yet
+	l.Accept(u, items[0])
+	after := Relatedness(u, items[0])
+	if after <= before {
+		t.Fatalf("accepting a measure must raise its relatedness: %g -> %g", before, after)
+	}
+	if u.InterestIn(term("A")) == 0 {
+		t.Fatal("accept must create interest in the measure's entities")
+	}
+	if u.SeenCount("countA") != 1 {
+		t.Fatal("accept must mark the measure seen")
+	}
+}
+
+func TestRepeatedAcceptConverges(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("F"): 1})
+	l, _ := NewLearner(0.2)
+	prev := Relatedness(u, items[0])
+	for i := 0; i < 10; i++ {
+		l.Accept(u, items[0])
+		cur := Relatedness(u, items[0])
+		if cur < prev-1e-9 {
+			t.Fatalf("relatedness must be non-decreasing under repeated accepts: %g -> %g", prev, cur)
+		}
+		prev = cur
+	}
+	if prev < 0.5 {
+		t.Fatalf("after 10 accepts relatedness = %g, want substantial", prev)
+	}
+}
+
+func TestRejectDecaysAndDrops(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("A"): 1, term("F"): 1})
+	l, _ := NewLearner(0.5)
+	before := Relatedness(u, items[0])
+	l.Reject(u, items[0])
+	after := Relatedness(u, items[0])
+	if after >= before {
+		t.Fatalf("rejecting must lower relatedness: %g -> %g", before, after)
+	}
+	// F untouched (not highlighted by countA).
+	if u.InterestIn(term("F")) != 1 {
+		t.Fatal("reject must not touch unrelated interests")
+	}
+	// Repeated rejection drives the interest to zero (floor drop).
+	for i := 0; i < 60; i++ {
+		l.Reject(u, items[0])
+	}
+	if u.InterestIn(term("A")) != 0 {
+		t.Fatalf("interest after massive rejection = %g, want 0", u.InterestIn(term("A")))
+	}
+	if u.SeenCount("countA") != 61 {
+		t.Fatalf("seen count = %d", u.SeenCount("countA"))
+	}
+}
+
+func TestFeedbackShiftsFutureRecommendations(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("A"): 1})
+	l, _ := NewLearner(0.4)
+	first := TopK(u, items, 1)[0].MeasureID // countA
+	// The user consistently rejects it and accepts the semantic view.
+	for i := 0; i < 8; i++ {
+		it, _ := itemByID(items, first)
+		l.Reject(u, it)
+		sem, _ := itemByID(items, "semD")
+		l.Accept(u, sem)
+	}
+	now := TopK(u, items, 1)[0].MeasureID
+	if now == first {
+		t.Fatalf("feedback must eventually change the top recommendation (still %s)", now)
+	}
+}

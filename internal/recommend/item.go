@@ -1,0 +1,129 @@
+// Package recommend implements the paper's human-aware processing model
+// (§III): it turns evaluated evolution measures into recommendable items and
+// ranks them for users and groups under the five perspectives the paper
+// names — relatedness (§III-a), diversity (§III-c), fairness (§III-d) and
+// anonymity (§III-e); transparency (§III-b) is provided by the provenance
+// package, which records how each recommendation was produced.
+package recommend
+
+import (
+	"sort"
+	"sync"
+
+	"evorec/internal/measures"
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+)
+
+// Item is one recommendable evolution measure together with its evaluation
+// on a concrete version pair. The normalized score vector is the item's
+// "content": it says which entities the measure highlights, and relatedness
+// matches it against user interests.
+type Item struct {
+	// Measure is the underlying measure.
+	Measure measures.Measure
+	// Scores holds the raw measure output over entities.
+	Scores measures.Scores
+	// Vector is the max-normalized score vector used for matching.
+	Vector map[rdf.Term]float64
+}
+
+// ID returns the measure ID the item wraps.
+func (it Item) ID() string { return it.Measure.ID() }
+
+// Category returns the measure's viewpoint category.
+func (it Item) Category() measures.Category { return it.Measure.Category() }
+
+// BuildItems evaluates every measure of the registry on the context and
+// wraps the results as items, sorted by measure ID.
+func BuildItems(ctx *measures.Context, reg *measures.Registry) []Item {
+	ms := reg.All()
+	out := make([]Item, 0, len(ms))
+	for _, m := range ms {
+		s := m.Compute(ctx)
+		out = append(out, Item{
+			Measure: m,
+			Scores:  s,
+			Vector:  map[rdf.Term]float64(s.Normalize()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// BuildItemsParallel is BuildItems with measures evaluated concurrently.
+// The Context's derived structures are immutable after construction and the
+// graph supports concurrent reads, so measures are embarrassingly parallel;
+// on multi-core machines this cuts the per-pair evaluation latency to
+// roughly the slowest single measure. The result is identical to
+// BuildItems (sorted by measure ID).
+func BuildItemsParallel(ctx *measures.Context, reg *measures.Registry) []Item {
+	ms := reg.All()
+	out := make([]Item, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		wg.Add(1)
+		go func(i int, m measures.Measure) {
+			defer wg.Done()
+			s := m.Compute(ctx)
+			out[i] = Item{
+				Measure: m,
+				Scores:  s,
+				Vector:  map[rdf.Term]float64(s.Normalize()),
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Relatedness scores how related an item is to a user (§III-a): the cosine
+// similarity between the user's interest vector and the item's normalized
+// entity-score vector. The result is in [0, 1] for non-negative vectors.
+func Relatedness(u *profile.Profile, it Item) float64 {
+	return u.Cosine(it.Vector)
+}
+
+// Recommendation is one ranked item.
+type Recommendation struct {
+	// MeasureID identifies the recommended measure.
+	MeasureID string
+	// Score is the value the ranking was computed under (meaning depends on
+	// the recommender: relatedness, MMR score, group utility, ...).
+	Score float64
+}
+
+// rankItems sorts item indexes by score descending with deterministic ties.
+func rankItems(items []Item, score func(Item) float64) []Recommendation {
+	out := make([]Recommendation, len(items))
+	for i, it := range items {
+		out[i] = Recommendation{MeasureID: it.ID(), Score: score(it)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].MeasureID < out[j].MeasureID
+	})
+	return out
+}
+
+// TopK returns the k measures most related to the user.
+func TopK(u *profile.Profile, items []Item, k int) []Recommendation {
+	r := rankItems(items, func(it Item) float64 { return Relatedness(u, it) })
+	if k < len(r) {
+		r = r[:k]
+	}
+	return r
+}
+
+// itemByID returns the item with the given measure ID.
+func itemByID(items []Item, id string) (Item, bool) {
+	for _, it := range items {
+		if it.ID() == id {
+			return it, true
+		}
+	}
+	return Item{}, false
+}

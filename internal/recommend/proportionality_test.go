@@ -1,0 +1,70 @@
+package recommend
+
+import (
+	"math"
+	"testing"
+
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+)
+
+func TestIsCovered(t *testing.T) {
+	items := testItems()
+	u := userWith(map[rdf.Term]float64{term("A"): 1})
+	// u's top-2: countA, countA2.
+	selGood := []Recommendation{{MeasureID: "countA"}, {MeasureID: "semF"}}
+	if !IsCovered(u, items, selGood, 1, 2) {
+		t.Fatal("selection containing a top-2 item must cover with m=1")
+	}
+	if IsCovered(u, items, selGood, 2, 2) {
+		t.Fatal("one hit must not satisfy m=2")
+	}
+	selBad := []Recommendation{{MeasureID: "semF"}, {MeasureID: "semD"}}
+	if IsCovered(u, items, selBad, 1, 2) {
+		t.Fatal("selection missing the user's top-2 must not cover")
+	}
+	if !IsCovered(u, items, nil, 0, 2) {
+		t.Fatal("m=0 must trivially cover")
+	}
+}
+
+func TestProportionality(t *testing.T) {
+	items := testItems()
+	g := antagonisticGroup(t) // uA likes A-items, uF likes F-items
+	// Selection serving only uA.
+	selA := []Recommendation{{MeasureID: "countA"}, {MeasureID: "countA2"}}
+	if got := Proportionality(g, items, selA, 1, 2); got != 0.5 {
+		t.Fatalf("one-sided proportionality = %g, want 0.5", got)
+	}
+	// Selection with one item for each member.
+	selBoth := []Recommendation{{MeasureID: "countA"}, {MeasureID: "semF"}}
+	if got := Proportionality(g, items, selBoth, 1, 2); got != 1 {
+		t.Fatalf("balanced proportionality = %g, want 1", got)
+	}
+}
+
+func TestEnvySpread(t *testing.T) {
+	items := testItems()
+	g := antagonisticGroup(t)
+	selA := []Recommendation{{MeasureID: "countA"}, {MeasureID: "countA2"}}
+	spread := EnvySpread(g, items, selA)
+	if spread <= 0 {
+		t.Fatalf("one-sided selection must have positive envy spread, got %g", spread)
+	}
+	// A selection serving both sides shrinks the spread.
+	selBoth := []Recommendation{{MeasureID: "countA"}, {MeasureID: "semF"}}
+	if EnvySpread(g, items, selBoth) >= spread {
+		t.Fatal("balanced selection must reduce envy spread")
+	}
+	// Identical members: zero spread.
+	twin1 := userWith(map[rdf.Term]float64{term("A"): 1})
+	twin2 := userWith(map[rdf.Term]float64{term("A"): 1})
+	twin2.ID = "twin2"
+	twins, err := profile.NewGroup("twins", []*profile.Profile{twin1, twin2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EnvySpread(twins, items, selA); math.Abs(got) > 1e-12 {
+		t.Fatalf("identical members envy spread = %g, want 0", got)
+	}
+}

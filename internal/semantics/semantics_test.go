@@ -1,0 +1,236 @@
+package semantics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"evorec/internal/rdf"
+	"evorec/internal/schema"
+)
+
+// fixture: Person --worksFor--> Org (3 links), Person --knows--> Person
+// (1 link), plus a literal-valued name property (must be ignored).
+func fixture() (*rdf.Graph, *schema.Schema) {
+	g := rdf.NewGraph()
+	person, org := rdf.SchemaIRI("Person"), rdf.SchemaIRI("Org")
+	worksFor, knows, name := rdf.SchemaIRI("worksFor"), rdf.SchemaIRI("knows"), rdf.SchemaIRI("name")
+	g.Add(rdf.T(person, rdf.RDFType, rdf.RDFSClass))
+	g.Add(rdf.T(org, rdf.RDFType, rdf.RDFSClass))
+	g.Add(rdf.T(worksFor, rdf.RDFSDomain, person))
+	g.Add(rdf.T(worksFor, rdf.RDFSRange, org))
+	g.Add(rdf.T(knows, rdf.RDFSDomain, person))
+	g.Add(rdf.T(knows, rdf.RDFSRange, person))
+	g.Add(rdf.T(name, rdf.RDFSDomain, person))
+
+	people := make([]rdf.Term, 3)
+	for i := range people {
+		people[i] = rdf.ResourceIRI(fmt.Sprintf("p%d", i))
+		g.Add(rdf.T(people[i], rdf.RDFType, person))
+	}
+	o := rdf.ResourceIRI("acme")
+	g.Add(rdf.T(o, rdf.RDFType, org))
+	for _, p := range people {
+		g.Add(rdf.T(p, worksFor, o))
+	}
+	g.Add(rdf.T(people[0], knows, people[1]))
+	g.Add(rdf.T(people[0], name, rdf.NewLiteral("Zero")))
+	return g, schema.Extract(g)
+}
+
+func TestConnectionCounts(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	person, org := rdf.SchemaIRI("Person"), rdf.SchemaIRI("Org")
+	wf, kn := rdf.SchemaIRI("worksFor"), rdf.SchemaIRI("knows")
+	if got := a.ConnectionCount(EdgeKey{wf, person, org}); got != 3 {
+		t.Fatalf("conn(worksFor,Person,Org) = %d, want 3", got)
+	}
+	if got := a.ConnectionCount(EdgeKey{kn, person, person}); got != 1 {
+		t.Fatalf("conn(knows,Person,Person) = %d, want 1", got)
+	}
+	if got := a.ConnectionCount(EdgeKey{wf, org, person}); got != 0 {
+		t.Fatalf("reverse direction must be 0, got %d", got)
+	}
+}
+
+func TestRelativeCardinality(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	person, org := rdf.SchemaIRI("Person"), rdf.SchemaIRI("Org")
+	wf := rdf.SchemaIRI("worksFor")
+	// Person endpoints: 3 (worksFor out) + 2 (knows both ends) = 5.
+	// Org endpoints: 3 (worksFor in). Denominator = 5+3 = 8; conn = 3.
+	want := 3.0 / 8.0
+	if got := a.RelativeCardinality(wf, person, org); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RC = %g, want %g", got, want)
+	}
+	if got := a.RelativeCardinality(wf, org, person); got != 0 {
+		t.Fatalf("RC reverse = %g, want 0", got)
+	}
+	if got := a.RelativeCardinality(rdf.SchemaIRI("nope"), person, org); got != 0 {
+		t.Fatalf("RC unknown property = %g, want 0", got)
+	}
+}
+
+func TestInOutCentrality(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	person, org := rdf.SchemaIRI("Person"), rdf.SchemaIRI("Org")
+	// Org has one incoming edge via one property: Cin = RC * 1 = 3/8.
+	if got, want := a.InCentrality(org), 3.0/8.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cin(Org) = %g, want %g", got, want)
+	}
+	if got := a.OutCentrality(org); got != 0 {
+		t.Fatalf("Cout(Org) = %g, want 0", got)
+	}
+	// Person: outgoing edges worksFor (RC=3/8... denominators differ) and
+	// knows; two distinct properties.
+	rcWF := a.RelativeCardinality(rdf.SchemaIRI("worksFor"), person, org)
+	rcKN := a.RelativeCardinality(rdf.SchemaIRI("knows"), person, person)
+	wantOut := (rcWF + rcKN) * 2
+	if got := a.OutCentrality(person); math.Abs(got-wantOut) > 1e-12 {
+		t.Fatalf("Cout(Person) = %g, want %g", got, wantOut)
+	}
+	// Person has one incoming edge (knows), one property.
+	if got := a.InCentrality(person); math.Abs(got-rcKN) > 1e-12 {
+		t.Fatalf("Cin(Person) = %g, want %g", got, rcKN)
+	}
+	if got := a.Centrality(person); math.Abs(got-(wantOut+rcKN)) > 1e-12 {
+		t.Fatalf("Centrality(Person) = %g", got)
+	}
+}
+
+func TestLiteralLinksIgnored(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	// name is literal-valued: it must not create any class edge.
+	for k := range a.conn {
+		if k.P == rdf.SchemaIRI("name") {
+			t.Fatalf("literal property created edge %v", k)
+		}
+	}
+}
+
+func TestUntypedEndpointsIgnored(t *testing.T) {
+	g := rdf.NewGraph()
+	p := rdf.SchemaIRI("link")
+	g.Add(rdf.T(p, rdf.RDFSDomain, rdf.SchemaIRI("C")))
+	// x untyped, y untyped: no class signal.
+	g.Add(rdf.T(rdf.ResourceIRI("x"), p, rdf.ResourceIRI("y")))
+	s := schema.Extract(g)
+	a := NewAnalyzer(g, s)
+	if len(a.conn) != 0 {
+		t.Fatalf("untyped endpoints must not contribute, got %v", a.conn)
+	}
+}
+
+func TestMultiTypedEndpoints(t *testing.T) {
+	g := rdf.NewGraph()
+	c1, c2, c3 := rdf.SchemaIRI("C1"), rdf.SchemaIRI("C2"), rdf.SchemaIRI("C3")
+	p := rdf.SchemaIRI("p")
+	g.Add(rdf.T(p, rdf.RDFSDomain, c1))
+	x, y := rdf.ResourceIRI("x"), rdf.ResourceIRI("y")
+	g.Add(rdf.T(x, rdf.RDFType, c1))
+	g.Add(rdf.T(x, rdf.RDFType, c2))
+	g.Add(rdf.T(y, rdf.RDFType, c3))
+	g.Add(rdf.T(x, p, y))
+	s := schema.Extract(g)
+	a := NewAnalyzer(g, s)
+	// Both (c1,c3) and (c2,c3) edges must exist.
+	if a.ConnectionCount(EdgeKey{p, c1, c3}) != 1 || a.ConnectionCount(EdgeKey{p, c2, c3}) != 1 {
+		t.Fatalf("multi-typed subject must contribute to all type pairs: %v", a.conn)
+	}
+	// y participates in one link but has endpoints counted once per type.
+	if a.totalConn[c3] != 1 {
+		t.Fatalf("totalConn(C3) = %d, want 1", a.totalConn[c3])
+	}
+}
+
+func TestRelevanceInstanceWeighting(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	person, org := rdf.SchemaIRI("Person"), rdf.SchemaIRI("Org")
+	// Person (3 instances) must outrank Org (1 instance): higher centrality
+	// and higher instance weight.
+	rp, ro := a.Relevance(person), a.Relevance(org)
+	if rp <= ro {
+		t.Fatalf("Relevance(Person)=%g must exceed Relevance(Org)=%g", rp, ro)
+	}
+	// A class with no instances and no links has zero relevance.
+	if got := a.Relevance(rdf.SchemaIRI("Ghost")); got != 0 {
+		t.Fatalf("Relevance(unknown) = %g, want 0", got)
+	}
+}
+
+func TestRelevanceNeighborContribution(t *testing.T) {
+	// Two classes with identical own-centrality and instances, but one has a
+	// high-centrality neighbor: it must score higher.
+	g := rdf.NewGraph()
+	hub := rdf.SchemaIRI("Hub")
+	a1, b1 := rdf.SchemaIRI("A1"), rdf.SchemaIRI("B1")
+	pa, pb, ph := rdf.SchemaIRI("pa"), rdf.SchemaIRI("pb"), rdf.SchemaIRI("ph")
+	// a1 -- pa --> hub ; b1 -- pb --> b2(low)
+	b2 := rdf.SchemaIRI("B2")
+	g.Add(rdf.T(pa, rdf.RDFSDomain, a1))
+	g.Add(rdf.T(pa, rdf.RDFSRange, hub))
+	g.Add(rdf.T(pb, rdf.RDFSDomain, b1))
+	g.Add(rdf.T(pb, rdf.RDFSRange, b2))
+	// Hub also richly connected elsewhere.
+	hubSrc := rdf.SchemaIRI("HubSrc")
+	g.Add(rdf.T(ph, rdf.RDFSDomain, hubSrc))
+	g.Add(rdf.T(ph, rdf.RDFSRange, hub))
+
+	mk := func(name string, class rdf.Term) rdf.Term {
+		x := rdf.ResourceIRI(name)
+		g.Add(rdf.T(x, rdf.RDFType, class))
+		return x
+	}
+	xa, xh := mk("xa", a1), mk("xh", hub)
+	xb, xb2 := mk("xb", b1), mk("xb2", b2)
+	g.Add(rdf.T(xa, pa, xh))
+	g.Add(rdf.T(xb, pb, xb2))
+	for i := 0; i < 5; i++ {
+		src := mk(fmt.Sprintf("hs%d", i), hubSrc)
+		g.Add(rdf.T(src, ph, xh))
+	}
+	s := schema.Extract(g)
+	an := NewAnalyzer(g, s)
+	if an.Relevance(a1) <= an.Relevance(b1) {
+		t.Fatalf("class next to hub must be more relevant: A1=%g B1=%g",
+			an.Relevance(a1), an.Relevance(b1))
+	}
+}
+
+func TestPropertyCentrality(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	wf, kn := rdf.SchemaIRI("worksFor"), rdf.SchemaIRI("knows")
+	if a.PropertyCentrality(wf) <= a.PropertyCentrality(kn) {
+		t.Fatalf("worksFor (3 links) must outrank knows (1 link): %g vs %g",
+			a.PropertyCentrality(wf), a.PropertyCentrality(kn))
+	}
+	if got := a.PropertyCentrality(rdf.SchemaIRI("absent")); got != 0 {
+		t.Fatalf("PropertyCentrality(absent) = %g, want 0", got)
+	}
+}
+
+func TestAllCentralitiesAllRelevances(t *testing.T) {
+	g, s := fixture()
+	a := NewAnalyzer(g, s)
+	cs := a.AllCentralities()
+	rs := a.AllRelevances()
+	if len(cs) != s.NumClasses() || len(rs) != s.NumClasses() {
+		t.Fatalf("coverage: |C|=%d |R|=%d classes=%d", len(cs), len(rs), s.NumClasses())
+	}
+	for c, v := range cs {
+		if v < 0 {
+			t.Fatalf("negative centrality for %v", c)
+		}
+	}
+	for c, v := range rs {
+		if v < 0 {
+			t.Fatalf("negative relevance for %v", c)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evorec/internal/rdf"
+	"evorec/internal/schema"
+)
+
+// OpWeights mixes the evolution operation kinds. A weight of zero disables
+// the operation; the probability of each kind is its weight over the total.
+type OpWeights struct {
+	AddClass         int
+	DeleteClass      int
+	Reparent         int
+	AddProperty      int
+	RetargetProperty int
+	AddInstances     int
+	DeleteInstances  int
+	AddLinks         int
+	Relabel          int
+}
+
+// DefaultOpWeights mirrors the change mix observed in open knowledge bases:
+// instance-level churn dominates, schema restructuring is rare.
+func DefaultOpWeights() OpWeights {
+	return OpWeights{
+		AddClass:         3,
+		DeleteClass:      1,
+		Reparent:         2,
+		AddProperty:      2,
+		RetargetProperty: 2,
+		AddInstances:     30,
+		DeleteInstances:  10,
+		AddLinks:         40,
+		Relabel:          4,
+	}
+}
+
+func (w OpWeights) total() int {
+	return w.AddClass + w.DeleteClass + w.Reparent + w.AddProperty +
+		w.RetargetProperty + w.AddInstances + w.DeleteInstances + w.AddLinks + w.Relabel
+}
+
+// EvolveConfig controls one evolution step.
+type EvolveConfig struct {
+	// Ops is the number of change operations to apply.
+	Ops int
+	// Locality in [0,1] is the probability that an operation targets the
+	// focus region (the focus class and its schema neighborhood) instead of
+	// a uniformly random class. High locality concentrates the delta.
+	Locality float64
+	// Focus optionally pins the focus class; when zero a random class is
+	// chosen (and reported back via the return value of Evolve).
+	Focus rdf.Term
+	// Weights mixes the operation kinds; zero value means DefaultOpWeights.
+	Weights OpWeights
+}
+
+// Validate reports configuration errors.
+func (c EvolveConfig) Validate() error {
+	if c.Ops < 0 {
+		return fmt.Errorf("synth: Ops must be >= 0, got %d", c.Ops)
+	}
+	if c.Locality < 0 || c.Locality > 1 {
+		return fmt.Errorf("synth: Locality must be in [0,1], got %g", c.Locality)
+	}
+	return nil
+}
+
+// evolveState caches the mutable view of the graph during one Evolve run.
+type evolveState struct {
+	g       *rdf.Graph
+	rng     *rand.Rand
+	nm      *Namer
+	classes []rdf.Term
+	props   []rdf.Term
+	byClass map[rdf.Term][]rdf.Term // class -> instances
+	focus   rdf.Term
+	region  []rdf.Term // focus + its neighborhood
+}
+
+// Evolve applies cfg.Ops random change operations to a clone of g and
+// returns the evolved graph together with the focus class used, so callers
+// (and experiments) know where the change burst was planted. The input
+// graph is never mutated.
+func Evolve(g *rdf.Graph, cfg EvolveConfig, nm *Namer, rng *rand.Rand) (*rdf.Graph, rdf.Term, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, rdf.Term{}, err
+	}
+	if nm == nil {
+		return nil, rdf.Term{}, fmt.Errorf("synth: Evolve requires the Namer from Generate")
+	}
+	w := cfg.Weights
+	if w.total() == 0 {
+		w = DefaultOpWeights()
+	}
+	out := g.Clone()
+	sch := schema.Extract(out)
+	st := &evolveState{
+		g:       out,
+		rng:     rng,
+		nm:      nm,
+		classes: sch.ClassTerms(),
+		props:   sch.PropertyTerms(),
+		byClass: make(map[rdf.Term][]rdf.Term),
+	}
+	if len(st.classes) == 0 {
+		return out, rdf.Term{}, nil
+	}
+	for _, c := range st.classes {
+		st.byClass[c] = sch.InstancesOf(c)
+	}
+	st.focus = cfg.Focus
+	if st.focus.IsWildcard() {
+		st.focus = st.classes[rng.Intn(len(st.classes))]
+	}
+	st.region = append([]rdf.Term{st.focus}, sch.Neighbors(st.focus)...)
+
+	for i := 0; i < cfg.Ops; i++ {
+		target := st.pickTarget(cfg.Locality)
+		st.apply(w, target)
+	}
+	return out, st.focus, nil
+}
+
+// pickTarget selects the class an operation is aimed at: within the focus
+// region with probability Locality, uniformly otherwise.
+func (st *evolveState) pickTarget(locality float64) rdf.Term {
+	if len(st.region) > 0 && st.rng.Float64() < locality {
+		return st.region[st.rng.Intn(len(st.region))]
+	}
+	return st.classes[st.rng.Intn(len(st.classes))]
+}
+
+// apply draws an operation kind from the weights and executes it against
+// the target class. Operations that cannot apply (e.g. deleting instances
+// of an empty class) degrade to the closest applicable effect or no-op.
+func (st *evolveState) apply(w OpWeights, target rdf.Term) {
+	r := st.rng.Intn(w.total())
+	switch {
+	case r < w.AddClass:
+		st.addClass(target)
+	case r < w.AddClass+w.DeleteClass:
+		st.deleteClass(target)
+	case r < w.AddClass+w.DeleteClass+w.Reparent:
+		st.reparent(target)
+	case r < w.AddClass+w.DeleteClass+w.Reparent+w.AddProperty:
+		st.addProperty(target)
+	case r < w.AddClass+w.DeleteClass+w.Reparent+w.AddProperty+w.RetargetProperty:
+		st.retargetProperty(target)
+	case r < w.AddClass+w.DeleteClass+w.Reparent+w.AddProperty+w.RetargetProperty+w.AddInstances:
+		st.addInstances(target)
+	case r < w.AddClass+w.DeleteClass+w.Reparent+w.AddProperty+w.RetargetProperty+w.AddInstances+w.DeleteInstances:
+		st.deleteInstances(target)
+	case r < w.total()-w.Relabel:
+		st.addLinks(target)
+	default:
+		st.relabel(target)
+	}
+}
+
+func (st *evolveState) addClass(parent rdf.Term) {
+	c := st.nm.NextClass()
+	st.g.Add(rdf.T(c, rdf.RDFType, rdf.RDFSClass))
+	st.g.Add(rdf.T(c, rdf.RDFSSubClassOf, parent))
+	st.g.Add(rdf.T(c, rdf.RDFSLabel, rdf.NewLiteral("class "+c.Local())))
+	st.classes = append(st.classes, c)
+	st.byClass[c] = nil
+}
+
+// deleteClass removes the target class's schema triples and its instances'
+// typings, unless it is the focus itself or has subclasses (keeping the
+// tree connected).
+func (st *evolveState) deleteClass(target rdf.Term) {
+	if target == st.focus {
+		return
+	}
+	if len(st.g.Subjects(rdf.RDFSSubClassOf, target)) > 0 {
+		return // not a leaf
+	}
+	for _, t := range st.g.Match(target, rdf.Term{}, rdf.Term{}) {
+		st.g.Remove(t)
+	}
+	for _, t := range st.g.Match(rdf.Term{}, rdf.Term{}, target) {
+		st.g.Remove(t)
+	}
+	for i, c := range st.classes {
+		if c == target {
+			st.classes = append(st.classes[:i], st.classes[i+1:]...)
+			break
+		}
+	}
+	delete(st.byClass, target)
+}
+
+func (st *evolveState) reparent(target rdf.Term) {
+	if len(st.classes) < 2 {
+		return
+	}
+	newParent := st.classes[st.rng.Intn(len(st.classes))]
+	if newParent == target {
+		return
+	}
+	for _, t := range st.g.Match(target, rdf.RDFSSubClassOf, rdf.Term{}) {
+		st.g.Remove(t)
+	}
+	st.g.Add(rdf.T(target, rdf.RDFSSubClassOf, newParent))
+}
+
+func (st *evolveState) addProperty(domain rdf.Term) {
+	p := st.nm.NextProperty()
+	rng := st.classes[st.rng.Intn(len(st.classes))]
+	st.g.Add(rdf.T(p, rdf.RDFType, rdf.RDFProperty))
+	st.g.Add(rdf.T(p, rdf.RDFSDomain, domain))
+	st.g.Add(rdf.T(p, rdf.RDFSRange, rng))
+	st.props = append(st.props, p)
+}
+
+func (st *evolveState) retargetProperty(target rdf.Term) {
+	// Prefer a property connected to the target class.
+	var cands []rdf.Term
+	for _, p := range st.props {
+		for _, d := range st.g.Objects(p, rdf.RDFSDomain) {
+			if d == target {
+				cands = append(cands, p)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		cands = st.props
+	}
+	if len(cands) == 0 {
+		return
+	}
+	p := cands[st.rng.Intn(len(cands))]
+	for _, t := range st.g.Match(p, rdf.RDFSRange, rdf.Term{}) {
+		st.g.Remove(t)
+	}
+	st.g.Add(rdf.T(p, rdf.RDFSRange, st.classes[st.rng.Intn(len(st.classes))]))
+}
+
+func (st *evolveState) addInstances(target rdf.Term) {
+	n := 1 + st.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		x := st.nm.NextInstance()
+		st.g.Add(rdf.T(x, rdf.RDFType, target))
+		st.byClass[target] = append(st.byClass[target], x)
+	}
+}
+
+func (st *evolveState) deleteInstances(target rdf.Term) {
+	pool := st.byClass[target]
+	if len(pool) == 0 {
+		// Degrade to adding instances so the op still produces change.
+		st.addInstances(target)
+		return
+	}
+	n := 1 + st.rng.Intn(2)
+	for i := 0; i < n && len(pool) > 0; i++ {
+		idx := st.rng.Intn(len(pool))
+		x := pool[idx]
+		for _, t := range st.g.Match(x, rdf.Term{}, rdf.Term{}) {
+			st.g.Remove(t)
+		}
+		for _, t := range st.g.Match(rdf.Term{}, rdf.Term{}, x) {
+			st.g.Remove(t)
+		}
+		pool = append(pool[:idx], pool[idx+1:]...)
+	}
+	st.byClass[target] = pool
+}
+
+func (st *evolveState) addLinks(target rdf.Term) {
+	src := st.byClass[target]
+	if len(src) == 0 || len(st.props) == 0 {
+		st.addInstances(target)
+		return
+	}
+	n := 1 + st.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		p := st.props[st.rng.Intn(len(st.props))]
+		x := src[st.rng.Intn(len(src))]
+		// Target an instance of the property's range when populated.
+		var pool []rdf.Term
+		for _, r := range st.g.Objects(p, rdf.RDFSRange) {
+			pool = append(pool, st.byClass[r]...)
+		}
+		if len(pool) == 0 {
+			pool = src
+		}
+		y := pool[st.rng.Intn(len(pool))]
+		if x != y {
+			st.g.Add(rdf.T(x, p, y))
+		}
+	}
+}
+
+func (st *evolveState) relabel(target rdf.Term) {
+	for _, t := range st.g.Match(target, rdf.RDFSLabel, rdf.Term{}) {
+		st.g.Remove(t)
+	}
+	st.g.Add(rdf.T(target, rdf.RDFSLabel,
+		rdf.NewLiteral(fmt.Sprintf("class %s rev%d", target.Local(), st.rng.Intn(10000)))))
+}
+
+// GenerateVersions builds an evolving dataset: an initial version generated
+// from kb, then steps further versions, each evolved from the previous with
+// ev. Version IDs are "v1".."v<steps+1>". It returns the store and the
+// focus class of each evolution step (index i is the focus of the step that
+// produced version i+2).
+func GenerateVersions(kb KBConfig, ev EvolveConfig, steps int, seed int64) (*rdf.VersionStore, []rdf.Term, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, nm, err := Generate(kb, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	vs := rdf.NewVersionStore()
+	if err := vs.Add(&rdf.Version{ID: "v1", Graph: g}); err != nil {
+		return nil, nil, err
+	}
+	var focuses []rdf.Term
+	cur := g
+	for i := 0; i < steps; i++ {
+		next, focus, err := Evolve(cur, ev, nm, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		focuses = append(focuses, focus)
+		if err := vs.Add(&rdf.Version{ID: fmt.Sprintf("v%d", i+2), Graph: next}); err != nil {
+			return nil, nil, err
+		}
+		cur = next
+	}
+	return vs, focuses, nil
+}

@@ -1,0 +1,199 @@
+// Package synth generates synthetic evolving knowledge bases and synthetic
+// user populations. It substitutes for the DBpedia/YAGO version snapshots
+// and the human curators the paper assumes (see DESIGN.md §2): the generator
+// controls hierarchy shape, instance skew, change rate and change locality,
+// which lets every experiment plant ground truth (which region changed, what
+// each user cares about) and verify the measures and recommenders against it.
+//
+// All generation is deterministic given a seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evorec/internal/rdf"
+)
+
+// KBConfig shapes one generated knowledge-base version.
+type KBConfig struct {
+	// Classes is the number of classes in the subsumption tree.
+	Classes int
+	// Properties is the number of object (class-to-class) properties.
+	Properties int
+	// LiteralProps is the number of literal-valued properties.
+	LiteralProps int
+	// Instances is the number of typed instances.
+	Instances int
+	// ZipfS is the skew of the instance-to-class assignment (> 1; larger
+	// means a heavier head: few classes hold most instances).
+	ZipfS float64
+	// LinksPerInstance is the expected number of outgoing object links per
+	// instance.
+	LinksPerInstance int
+}
+
+// Validate reports configuration errors.
+func (c KBConfig) Validate() error {
+	if c.Classes < 1 {
+		return fmt.Errorf("synth: Classes must be >= 1, got %d", c.Classes)
+	}
+	if c.Properties < 0 || c.LiteralProps < 0 || c.Instances < 0 || c.LinksPerInstance < 0 {
+		return fmt.Errorf("synth: negative counts in config %+v", c)
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("synth: ZipfS must be > 1, got %g", c.ZipfS)
+	}
+	return nil
+}
+
+// Small returns a config suitable for unit tests: a few dozen classes,
+// hundreds of triples.
+func Small() KBConfig {
+	return KBConfig{
+		Classes:          25,
+		Properties:       20,
+		LiteralProps:     5,
+		Instances:        200,
+		ZipfS:            1.4,
+		LinksPerInstance: 2,
+	}
+}
+
+// DBpediaLike returns a config that mimics the shape of the DBpedia
+// ontology snapshots the paper's companion study [16] analyzed: a few
+// hundred classes, comparable property count, heavily skewed instance
+// distribution.
+func DBpediaLike() KBConfig {
+	return KBConfig{
+		Classes:          150,
+		Properties:       120,
+		LiteralProps:     40,
+		Instances:        4000,
+		ZipfS:            1.3,
+		LinksPerInstance: 3,
+	}
+}
+
+// Namer mints unique entity names across an evolution run, so entities
+// created in later versions never collide with deleted ones.
+type Namer struct {
+	class, prop, lit, inst int
+}
+
+// NextClass mints a fresh class IRI.
+func (n *Namer) NextClass() rdf.Term {
+	n.class++
+	return rdf.SchemaIRI(fmt.Sprintf("C%04d", n.class))
+}
+
+// NextProperty mints a fresh object property IRI.
+func (n *Namer) NextProperty() rdf.Term {
+	n.prop++
+	return rdf.SchemaIRI(fmt.Sprintf("p%04d", n.prop))
+}
+
+// NextLiteralProp mints a fresh literal property IRI.
+func (n *Namer) NextLiteralProp() rdf.Term {
+	n.lit++
+	return rdf.SchemaIRI(fmt.Sprintf("lit%03d", n.lit))
+}
+
+// NextInstance mints a fresh instance IRI.
+func (n *Namer) NextInstance() rdf.Term {
+	n.inst++
+	return rdf.ResourceIRI(fmt.Sprintf("i%06d", n.inst))
+}
+
+// Generate builds one knowledge-base version: a random subsumption tree of
+// classes, object properties with random domains/ranges, literal properties,
+// and Zipf-skewed typed instances linked through the object properties. It
+// returns the graph and the Namer to thread into Evolve.
+func Generate(cfg KBConfig, rng *rand.Rand) (*rdf.Graph, *Namer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := rdf.NewGraph()
+	nm := &Namer{}
+
+	// Class tree: each new class attaches below a uniformly random earlier
+	// class, yielding a random recursive tree (realistic depth ~ log n).
+	classes := make([]rdf.Term, cfg.Classes)
+	for i := range classes {
+		c := nm.NextClass()
+		classes[i] = c
+		g.Add(rdf.T(c, rdf.RDFType, rdf.RDFSClass))
+		g.Add(rdf.T(c, rdf.RDFSLabel, rdf.NewLiteral("class "+c.Local())))
+		if i > 0 {
+			parent := classes[rng.Intn(i)]
+			g.Add(rdf.T(c, rdf.RDFSSubClassOf, parent))
+		}
+	}
+
+	// Object properties with random domain/range.
+	props := make([]rdf.Term, cfg.Properties)
+	for i := range props {
+		p := nm.NextProperty()
+		props[i] = p
+		g.Add(rdf.T(p, rdf.RDFType, rdf.RDFProperty))
+		g.Add(rdf.T(p, rdf.RDFSDomain, classes[rng.Intn(len(classes))]))
+		g.Add(rdf.T(p, rdf.RDFSRange, classes[rng.Intn(len(classes))]))
+	}
+	// Literal properties with random domain.
+	litProps := make([]rdf.Term, cfg.LiteralProps)
+	for i := range litProps {
+		p := nm.NextLiteralProp()
+		litProps[i] = p
+		g.Add(rdf.T(p, rdf.RDFType, rdf.RDFProperty))
+		g.Add(rdf.T(p, rdf.RDFSDomain, classes[rng.Intn(len(classes))]))
+	}
+
+	// Instances: Zipf-skewed class assignment.
+	if cfg.Instances > 0 {
+		zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(classes)-1))
+		if zipf == nil {
+			return nil, nil, fmt.Errorf("synth: invalid zipf parameters (s=%g)", cfg.ZipfS)
+		}
+		byClass := make(map[rdf.Term][]rdf.Term, len(classes))
+		instClass := make(map[rdf.Term]rdf.Term, cfg.Instances)
+		instances := make([]rdf.Term, cfg.Instances)
+		for i := range instances {
+			x := nm.NextInstance()
+			c := classes[int(zipf.Uint64())]
+			instances[i] = x
+			instClass[x] = c
+			byClass[c] = append(byClass[c], x)
+			g.Add(rdf.T(x, rdf.RDFType, c))
+			if len(litProps) > 0 && rng.Intn(2) == 0 {
+				lp := litProps[rng.Intn(len(litProps))]
+				g.Add(rdf.T(x, lp, rdf.NewLiteral(fmt.Sprintf("v%d", rng.Intn(1000)))))
+			}
+		}
+		// Links: each instance attempts LinksPerInstance links through a
+		// random property, targeting an instance of the property's range
+		// class (falling back to any instance when the range is unpopulated).
+		if len(props) > 0 {
+			rangeOf := make(map[rdf.Term]rdf.Term, len(props))
+			for _, p := range props {
+				rs := g.Objects(p, rdf.RDFSRange)
+				if len(rs) > 0 {
+					rangeOf[p] = rs[0]
+				}
+			}
+			for _, x := range instances {
+				for l := 0; l < cfg.LinksPerInstance; l++ {
+					p := props[rng.Intn(len(props))]
+					pool := byClass[rangeOf[p]]
+					if len(pool) == 0 {
+						pool = instances
+					}
+					y := pool[rng.Intn(len(pool))]
+					if y != x {
+						g.Add(rdf.T(x, p, y))
+					}
+				}
+			}
+		}
+	}
+	return g, nm, nil
+}

@@ -1,0 +1,126 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+	"evorec/internal/schema"
+)
+
+// ProfileConfig shapes a synthetic user population.
+type ProfileConfig struct {
+	// Users is the number of profiles to generate.
+	Users int
+	// ExtraInterests is the number of random additional entities each user
+	// is mildly interested in, beyond the focus neighborhood.
+	ExtraInterests int
+}
+
+// GenerateProfiles builds Users profiles over the schema: each user picks a
+// uniformly random focus class and weights it 1.0, its schema neighbors
+// 0.5, and ExtraInterests random further classes 0.2. The focus class of
+// each user is returned alongside (index-aligned), so experiments can plant
+// ground truth about what each user should be recommended.
+func GenerateProfiles(s *schema.Schema, cfg ProfileConfig, rng *rand.Rand) ([]*profile.Profile, []rdf.Term, error) {
+	classes := s.ClassTerms()
+	if len(classes) == 0 {
+		return nil, nil, fmt.Errorf("synth: schema has no classes to build profiles over")
+	}
+	if cfg.Users < 0 || cfg.ExtraInterests < 0 {
+		return nil, nil, fmt.Errorf("synth: negative profile config %+v", cfg)
+	}
+	profiles := make([]*profile.Profile, cfg.Users)
+	focuses := make([]rdf.Term, cfg.Users)
+	for i := range profiles {
+		p := profile.New(fmt.Sprintf("user%03d", i))
+		focus := classes[rng.Intn(len(classes))]
+		focuses[i] = focus
+		p.SetInterest(focus, 1)
+		for _, n := range s.Neighbors(focus) {
+			p.SetInterest(n, 0.5)
+		}
+		for e := 0; e < cfg.ExtraInterests; e++ {
+			c := classes[rng.Intn(len(classes))]
+			if p.InterestIn(c) == 0 {
+				p.SetInterest(c, 0.2)
+			}
+		}
+		profiles[i] = p
+	}
+	return profiles, focuses, nil
+}
+
+// GroupKind selects how a synthetic group is assembled, matching the group
+// scenarios of the fairness experiments.
+type GroupKind uint8
+
+const (
+	// RandomGroup samples members uniformly.
+	RandomGroup GroupKind = iota
+	// CoherentGroup picks a seed user and the most similar others; members
+	// largely agree, so all aggregation strategies behave alike.
+	CoherentGroup
+	// AntagonisticGroup greedily assembles maximally dissimilar members;
+	// the stress case where fairness-aware selection matters.
+	AntagonisticGroup
+)
+
+// String names the group kind.
+func (k GroupKind) String() string {
+	switch k {
+	case RandomGroup:
+		return "random"
+	case CoherentGroup:
+		return "coherent"
+	case AntagonisticGroup:
+		return "antagonistic"
+	default:
+		return fmt.Sprintf("group_kind(%d)", uint8(k))
+	}
+}
+
+// GenerateGroup assembles a group of the given size and kind from the pool.
+func GenerateGroup(pool []*profile.Profile, size int, kind GroupKind, rng *rand.Rand) (*profile.Group, error) {
+	if size < 1 || size > len(pool) {
+		return nil, fmt.Errorf("synth: group size %d out of range for pool of %d", size, len(pool))
+	}
+	var members []*profile.Profile
+	switch kind {
+	case CoherentGroup, AntagonisticGroup:
+		seed := pool[rng.Intn(len(pool))]
+		members = []*profile.Profile{seed}
+		chosen := map[string]bool{seed.ID: true}
+		for len(members) < size {
+			bestIdx := -1
+			bestVal := 0.0
+			for i, cand := range pool {
+				if chosen[cand.ID] {
+					continue
+				}
+				// Similarity of candidate to current members.
+				sim := 0.0
+				for _, m := range members {
+					sim += profile.CosineVectors(cand.Interests, m.Interests)
+				}
+				sim /= float64(len(members))
+				val := sim
+				if kind == AntagonisticGroup {
+					val = -sim
+				}
+				if bestIdx < 0 || val > bestVal || (val == bestVal && cand.ID < pool[bestIdx].ID) {
+					bestIdx, bestVal = i, val
+				}
+			}
+			members = append(members, pool[bestIdx])
+			chosen[pool[bestIdx].ID] = true
+		}
+	default: // RandomGroup
+		perm := rng.Perm(len(pool))
+		for _, i := range perm[:size] {
+			members = append(members, pool[i])
+		}
+	}
+	return profile.NewGroup(fmt.Sprintf("%s-group", kind), members)
+}

@@ -1,0 +1,362 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"evorec/internal/delta"
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+	"evorec/internal/schema"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestKBConfigValidate(t *testing.T) {
+	ok := Small()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok
+	bad.Classes = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero classes must fail")
+	}
+	bad = ok
+	bad.ZipfS = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ZipfS <= 1 must fail")
+	}
+	bad = ok
+	bad.Instances = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative instances must fail")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Small()
+	g, nm, err := Generate(cfg, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm == nil {
+		t.Fatal("Generate must return a namer")
+	}
+	s := schema.Extract(g)
+	if s.NumClasses() != cfg.Classes {
+		t.Fatalf("classes = %d, want %d", s.NumClasses(), cfg.Classes)
+	}
+	if s.NumProperties() != cfg.Properties+cfg.LiteralProps {
+		t.Fatalf("properties = %d, want %d", s.NumProperties(), cfg.Properties+cfg.LiteralProps)
+	}
+	// All instances typed.
+	total := 0
+	for _, c := range s.ClassTerms() {
+		cl, _ := s.Class(c)
+		total += cl.InstanceCount
+	}
+	if total != cfg.Instances {
+		t.Fatalf("instances = %d, want %d", total, cfg.Instances)
+	}
+	// Tree: every class except the first has exactly one parent.
+	roots := 0
+	for _, c := range s.ClassTerms() {
+		cl, _ := s.Class(c)
+		switch len(cl.Supers) {
+		case 0:
+			roots++
+		case 1:
+		default:
+			t.Fatalf("class %v has %d parents", c, len(cl.Supers))
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("tree must have exactly 1 root, got %d", roots)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(Small(), rng(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(Small(), rng(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, tr := range a.Triples() {
+		if !b.Has(tr) {
+			t.Fatalf("same seed graphs differ at %v", tr)
+		}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	cfg := Small()
+	cfg.Instances = 2000
+	g, _, err := Generate(cfg, rng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.Extract(g)
+	max := 0
+	for _, c := range s.ClassTerms() {
+		cl, _ := s.Class(c)
+		if cl.InstanceCount > max {
+			max = cl.InstanceCount
+		}
+	}
+	mean := float64(cfg.Instances) / float64(cfg.Classes)
+	if float64(max) < 3*mean {
+		t.Fatalf("Zipf head class holds %d instances, want >> mean %.0f", max, mean)
+	}
+}
+
+func TestEvolveProducesLocalizedDelta(t *testing.T) {
+	g, nm, err := Generate(Small(), rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EvolveConfig{Ops: 60, Locality: 0.95}
+	next, focus, err := Evolve(g, cfg, nm, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if focus.IsWildcard() {
+		t.Fatal("Evolve must report the focus class")
+	}
+	d := delta.Compute(g, next)
+	if d.IsEmpty() {
+		t.Fatal("evolution must produce changes")
+	}
+	// The focus region must absorb a large share of the attributed change.
+	attr := delta.Attribute(d)
+	sOld := schema.Extract(g)
+	regionChanges := attr.Changes(focus).Total()
+	for _, n := range sOld.Neighbors(focus) {
+		regionChanges += attr.Changes(n).Total()
+	}
+	if regionChanges == 0 {
+		t.Fatal("high-locality evolution must change the focus region")
+	}
+	// Original untouched.
+	if gd := delta.Compute(g, g.Clone()); !gd.IsEmpty() {
+		t.Fatal("input graph must not be mutated")
+	}
+}
+
+func TestEvolveLocalityConcentratesChange(t *testing.T) {
+	g, nm, err := Generate(Small(), rng(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concentration := func(locality float64, seed int64) float64 {
+		next, focus, err := Evolve(g, EvolveConfig{Ops: 80, Locality: locality}, nm, rng(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := delta.Compute(g, next)
+		attr := delta.Attribute(d)
+		sOld := schema.Extract(g)
+		region := map[rdf.Term]bool{focus: true}
+		for _, n := range sOld.Neighbors(focus) {
+			region[n] = true
+		}
+		inRegion, total := 0, 0
+		for _, tm := range attr.Terms() {
+			c := attr.Changes(tm).Total()
+			total += c
+			if region[tm] {
+				inRegion += c
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(inRegion) / float64(total)
+	}
+	// Average over a few seeds to damp variance.
+	high, low := 0.0, 0.0
+	for s := int64(0); s < 5; s++ {
+		high += concentration(0.95, 100+s)
+		low += concentration(0.05, 200+s)
+	}
+	if high <= low {
+		t.Fatalf("high locality (%.3f) must concentrate more change than low (%.3f)", high/5, low/5)
+	}
+}
+
+func TestEvolveConfigValidation(t *testing.T) {
+	g, nm, _ := Generate(Small(), rng(1))
+	if _, _, err := Evolve(g, EvolveConfig{Ops: -1}, nm, rng(1)); err == nil {
+		t.Fatal("negative ops must fail")
+	}
+	if _, _, err := Evolve(g, EvolveConfig{Ops: 1, Locality: 2}, nm, rng(1)); err == nil {
+		t.Fatal("locality > 1 must fail")
+	}
+	if _, _, err := Evolve(g, EvolveConfig{Ops: 1}, nil, rng(1)); err == nil {
+		t.Fatal("nil namer must fail")
+	}
+}
+
+func TestEvolveZeroOpsIsIdentity(t *testing.T) {
+	g, nm, _ := Generate(Small(), rng(2))
+	next, _, err := Evolve(g, EvolveConfig{Ops: 0}, nm, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Compute(g, next).IsEmpty() {
+		t.Fatal("zero ops must not change the graph")
+	}
+}
+
+func TestGenerateVersionsChain(t *testing.T) {
+	vs, focuses, err := GenerateVersions(Small(), EvolveConfig{Ops: 30, Locality: 0.8}, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Len() != 4 {
+		t.Fatalf("versions = %d, want 4", vs.Len())
+	}
+	if len(focuses) != 3 {
+		t.Fatalf("focuses = %d, want 3", len(focuses))
+	}
+	ids := vs.IDs()
+	if ids[0] != "v1" || ids[3] != "v4" {
+		t.Fatalf("version IDs = %v", ids)
+	}
+	// Every consecutive pair differs.
+	vs.Pairs(func(a, b *rdf.Version) bool {
+		if delta.Compute(a.Graph, b.Graph).IsEmpty() {
+			t.Fatalf("versions %s->%s identical", a.ID, b.ID)
+		}
+		return true
+	})
+}
+
+func TestGenerateVersionsDeterministic(t *testing.T) {
+	a, _, err := GenerateVersions(Small(), EvolveConfig{Ops: 20, Locality: 0.5}, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateVersions(Small(), EvolveConfig{Ops: 20, Locality: 0.5}, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		ga, gb := a.At(i).Graph, b.At(i).Graph
+		if ga.Len() != gb.Len() {
+			t.Fatalf("version %d sizes differ", i)
+		}
+		for _, tr := range ga.Triples() {
+			if !gb.Has(tr) {
+				t.Fatalf("version %d differs at %v", i, tr)
+			}
+		}
+	}
+}
+
+func TestGenerateProfiles(t *testing.T) {
+	g, _, _ := Generate(Small(), rng(6))
+	s := schema.Extract(g)
+	ps, focuses, err := GenerateProfiles(s, ProfileConfig{Users: 10, ExtraInterests: 2}, rng(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 10 || len(focuses) != 10 {
+		t.Fatalf("profiles/focuses = %d/%d", len(ps), len(focuses))
+	}
+	for i, p := range ps {
+		if p.InterestIn(focuses[i]) != 1 {
+			t.Fatalf("user %d focus weight = %g, want 1", i, p.InterestIn(focuses[i]))
+		}
+		if len(p.Interests) == 0 {
+			t.Fatalf("user %d has no interests", i)
+		}
+	}
+	if _, _, err := GenerateProfiles(schema.Extract(rdf.NewGraph()), ProfileConfig{Users: 1}, rng(1)); err == nil {
+		t.Fatal("empty schema must fail")
+	}
+	if _, _, err := GenerateProfiles(s, ProfileConfig{Users: -1}, rng(1)); err == nil {
+		t.Fatal("negative users must fail")
+	}
+}
+
+func TestGenerateGroupKinds(t *testing.T) {
+	g, _, _ := Generate(Small(), rng(8))
+	s := schema.Extract(g)
+	pool, _, err := GenerateProfiles(s, ProfileConfig{Users: 20, ExtraInterests: 1}, rng(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []GroupKind{RandomGroup, CoherentGroup, AntagonisticGroup} {
+		grp, err := GenerateGroup(pool, 4, kind, rng(10))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if grp.Size() != 4 {
+			t.Fatalf("%v: size = %d", kind, grp.Size())
+		}
+		seen := map[string]bool{}
+		for _, m := range grp.Members {
+			if seen[m.ID] {
+				t.Fatalf("%v: duplicate member %s", kind, m.ID)
+			}
+			seen[m.ID] = true
+		}
+	}
+	if _, err := GenerateGroup(pool, 0, RandomGroup, rng(1)); err == nil {
+		t.Fatal("size 0 must fail")
+	}
+	if _, err := GenerateGroup(pool, 99, RandomGroup, rng(1)); err == nil {
+		t.Fatal("oversized group must fail")
+	}
+}
+
+func TestCoherentMoreSimilarThanAntagonistic(t *testing.T) {
+	g, _, _ := Generate(Small(), rng(12))
+	s := schema.Extract(g)
+	pool, _, err := GenerateProfiles(s, ProfileConfig{Users: 30, ExtraInterests: 1}, rng(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanSim := func(kind GroupKind) float64 {
+		total := 0.0
+		n := 0
+		for seed := int64(0); seed < 5; seed++ {
+			grp, err := GenerateGroup(pool, 5, kind, rng(20+seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < grp.Size(); i++ {
+				for j := i + 1; j < grp.Size(); j++ {
+					total += profileCos(grp.Members[i], grp.Members[j])
+					n++
+				}
+			}
+		}
+		return total / float64(n)
+	}
+	if meanSim(CoherentGroup) <= meanSim(AntagonisticGroup) {
+		t.Fatalf("coherent groups must be more similar: %.3f vs %.3f",
+			meanSim(CoherentGroup), meanSim(AntagonisticGroup))
+	}
+}
+
+func TestGroupKindString(t *testing.T) {
+	if RandomGroup.String() != "random" || CoherentGroup.String() != "coherent" ||
+		AntagonisticGroup.String() != "antagonistic" {
+		t.Fatal("group kind names wrong")
+	}
+	if GroupKind(9).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}
+
+func profileCos(a, b *profile.Profile) float64 {
+	return profile.CosineVectors(a.Interests, b.Interests)
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evorec/internal/rdf"
+)
+
+// UniversityConfig sizes the LUBM-flavored university workload: unlike the
+// random-tree generator, this one has a fixed, realistic schema (the
+// classic university ontology shape used by the LUBM benchmark family), so
+// experiments and examples can exercise the system on meaningful class
+// names and a hand-designed topology.
+type UniversityConfig struct {
+	// Universities is the number of university instances.
+	Universities int
+	// DepartmentsPerUniversity is the department fan-out.
+	DepartmentsPerUniversity int
+	// ProfessorsPerDepartment and StudentsPerDepartment size the staff.
+	ProfessorsPerDepartment int
+	StudentsPerDepartment   int
+	// CoursesPerDepartment is the courses taught in each department.
+	CoursesPerDepartment int
+}
+
+// DefaultUniversity returns a mid-sized university workload (~1 university,
+// a few thousand triples).
+func DefaultUniversity() UniversityConfig {
+	return UniversityConfig{
+		Universities:             1,
+		DepartmentsPerUniversity: 6,
+		ProfessorsPerDepartment:  5,
+		StudentsPerDepartment:    40,
+		CoursesPerDepartment:     8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c UniversityConfig) Validate() error {
+	if c.Universities < 1 || c.DepartmentsPerUniversity < 1 {
+		return fmt.Errorf("synth: university config needs at least 1 university and department, got %+v", c)
+	}
+	if c.ProfessorsPerDepartment < 0 || c.StudentsPerDepartment < 0 || c.CoursesPerDepartment < 0 {
+		return fmt.Errorf("synth: negative counts in university config %+v", c)
+	}
+	return nil
+}
+
+// University-schema terms, exported so experiments and examples can target
+// them by name.
+var (
+	UnivOrganization  = rdf.SchemaIRI("Organization")
+	UnivUniversity    = rdf.SchemaIRI("University")
+	UnivDepartment    = rdf.SchemaIRI("Department")
+	UnivPerson        = rdf.SchemaIRI("Person")
+	UnivProfessor     = rdf.SchemaIRI("Professor")
+	UnivStudent       = rdf.SchemaIRI("Student")
+	UnivCourse        = rdf.SchemaIRI("Course")
+	UnivPublication   = rdf.SchemaIRI("Publication")
+	UnivSubOrgOf      = rdf.SchemaIRI("subOrganizationOf")
+	UnivWorksFor      = rdf.SchemaIRI("worksFor")
+	UnivMemberOf      = rdf.SchemaIRI("memberOf")
+	UnivTeaches       = rdf.SchemaIRI("teacherOf")
+	UnivTakesCourse   = rdf.SchemaIRI("takesCourse")
+	UnivAdvisor       = rdf.SchemaIRI("advisor")
+	UnivPublishes     = rdf.SchemaIRI("publicationAuthor")
+	UnivName          = rdf.SchemaIRI("name")
+	UnivEmail         = rdf.SchemaIRI("emailAddress")
+	UnivResearchTopic = rdf.SchemaIRI("researchInterest")
+)
+
+// GenerateUniversity builds a university knowledge base: the fixed schema
+// (class hierarchy, properties with domains/ranges) plus instances per the
+// config. Deterministic given the rng.
+func GenerateUniversity(cfg UniversityConfig, rng *rand.Rand) (*rdf.Graph, *Namer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := rdf.NewGraph()
+	nm := &Namer{}
+
+	// Schema: hierarchy.
+	classes := []rdf.Term{
+		UnivOrganization, UnivUniversity, UnivDepartment, UnivPerson,
+		UnivProfessor, UnivStudent, UnivCourse, UnivPublication,
+	}
+	for _, c := range classes {
+		g.Add(rdf.T(c, rdf.RDFType, rdf.RDFSClass))
+		g.Add(rdf.T(c, rdf.RDFSLabel, rdf.NewLiteral(c.Local())))
+	}
+	g.Add(rdf.T(UnivUniversity, rdf.RDFSSubClassOf, UnivOrganization))
+	g.Add(rdf.T(UnivDepartment, rdf.RDFSSubClassOf, UnivOrganization))
+	g.Add(rdf.T(UnivProfessor, rdf.RDFSSubClassOf, UnivPerson))
+	g.Add(rdf.T(UnivStudent, rdf.RDFSSubClassOf, UnivPerson))
+
+	// Schema: properties.
+	declare := func(p, domain, rng_ rdf.Term) {
+		g.Add(rdf.T(p, rdf.RDFType, rdf.RDFProperty))
+		g.Add(rdf.T(p, rdf.RDFSDomain, domain))
+		if !rng_.IsWildcard() {
+			g.Add(rdf.T(p, rdf.RDFSRange, rng_))
+		}
+	}
+	declare(UnivSubOrgOf, UnivDepartment, UnivUniversity)
+	declare(UnivWorksFor, UnivProfessor, UnivDepartment)
+	declare(UnivMemberOf, UnivStudent, UnivDepartment)
+	declare(UnivTeaches, UnivProfessor, UnivCourse)
+	declare(UnivTakesCourse, UnivStudent, UnivCourse)
+	declare(UnivAdvisor, UnivStudent, UnivProfessor)
+	declare(UnivPublishes, UnivPublication, UnivProfessor)
+	declare(UnivName, UnivPerson, rdf.Term{})
+	declare(UnivEmail, UnivPerson, rdf.Term{})
+	declare(UnivResearchTopic, UnivProfessor, rdf.Term{})
+
+	topics := []string{"databases", "semantics", "graphs", "privacy", "ml", "systems"}
+
+	for u := 0; u < cfg.Universities; u++ {
+		univ := rdf.ResourceIRI(fmt.Sprintf("univ%d", u))
+		g.Add(rdf.T(univ, rdf.RDFType, UnivUniversity))
+		for d := 0; d < cfg.DepartmentsPerUniversity; d++ {
+			dept := rdf.ResourceIRI(fmt.Sprintf("univ%d-dept%d", u, d))
+			g.Add(rdf.T(dept, rdf.RDFType, UnivDepartment))
+			g.Add(rdf.T(dept, UnivSubOrgOf, univ))
+
+			// Courses.
+			courses := make([]rdf.Term, cfg.CoursesPerDepartment)
+			for c := range courses {
+				courses[c] = rdf.ResourceIRI(fmt.Sprintf("univ%d-dept%d-course%d", u, d, c))
+				g.Add(rdf.T(courses[c], rdf.RDFType, UnivCourse))
+			}
+			// Professors.
+			profs := make([]rdf.Term, cfg.ProfessorsPerDepartment)
+			for p := range profs {
+				prof := nm.NextInstance()
+				profs[p] = prof
+				g.Add(rdf.T(prof, rdf.RDFType, UnivProfessor))
+				g.Add(rdf.T(prof, UnivWorksFor, dept))
+				g.Add(rdf.T(prof, UnivName, rdf.NewLiteral(fmt.Sprintf("prof-%s", prof.Local()))))
+				g.Add(rdf.T(prof, UnivResearchTopic, rdf.NewLiteral(topics[rng.Intn(len(topics))])))
+				if len(courses) > 0 {
+					g.Add(rdf.T(prof, UnivTeaches, courses[rng.Intn(len(courses))]))
+				}
+				// Publications with the professor as author.
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					pub := nm.NextInstance()
+					g.Add(rdf.T(pub, rdf.RDFType, UnivPublication))
+					g.Add(rdf.T(pub, UnivPublishes, prof))
+				}
+			}
+			// Students.
+			for s := 0; s < cfg.StudentsPerDepartment; s++ {
+				st := nm.NextInstance()
+				g.Add(rdf.T(st, rdf.RDFType, UnivStudent))
+				g.Add(rdf.T(st, UnivMemberOf, dept))
+				g.Add(rdf.T(st, UnivEmail, rdf.NewLiteral(fmt.Sprintf("%s@univ%d.edu", st.Local(), u))))
+				for k := 0; k < 1+rng.Intn(3) && len(courses) > 0; k++ {
+					g.Add(rdf.T(st, UnivTakesCourse, courses[rng.Intn(len(courses))]))
+				}
+				if len(profs) > 0 && rng.Intn(3) == 0 {
+					g.Add(rdf.T(st, UnivAdvisor, profs[rng.Intn(len(profs))]))
+				}
+			}
+		}
+	}
+	return g, nm, nil
+}
+
+// GenerateUniversityVersions builds an evolving university dataset: the
+// initial KB plus steps evolved versions using the standard evolution
+// simulator.
+func GenerateUniversityVersions(cfg UniversityConfig, ev EvolveConfig, steps int, seed int64) (*rdf.VersionStore, []rdf.Term, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, nm, err := GenerateUniversity(cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	vs := rdf.NewVersionStore()
+	if err := vs.Add(&rdf.Version{ID: "v1", Graph: g}); err != nil {
+		return nil, nil, err
+	}
+	var focuses []rdf.Term
+	cur := g
+	for i := 0; i < steps; i++ {
+		next, focus, err := Evolve(cur, ev, nm, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		focuses = append(focuses, focus)
+		if err := vs.Add(&rdf.Version{ID: fmt.Sprintf("v%d", i+2), Graph: next}); err != nil {
+			return nil, nil, err
+		}
+		cur = next
+	}
+	return vs, focuses, nil
+}

@@ -1,0 +1,94 @@
+package synth
+
+import (
+	"testing"
+
+	"evorec/internal/delta"
+	"evorec/internal/schema"
+)
+
+func TestGenerateUniversityShape(t *testing.T) {
+	cfg := DefaultUniversity()
+	g, nm, err := GenerateUniversity(cfg, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm == nil {
+		t.Fatal("namer must be returned")
+	}
+	s := schema.Extract(g)
+	// The fixed schema: 8 classes.
+	if s.NumClasses() != 8 {
+		t.Fatalf("classes = %d, want 8: %v", s.NumClasses(), s.ClassTerms())
+	}
+	// Hierarchy intact.
+	prof, ok := s.Class(UnivProfessor)
+	if !ok || len(prof.Supers) != 1 || prof.Supers[0] != UnivPerson {
+		t.Fatalf("Professor hierarchy wrong: %+v", prof)
+	}
+	// Instance counts match the config.
+	dept, _ := s.Class(UnivDepartment)
+	if dept.InstanceCount != cfg.Universities*cfg.DepartmentsPerUniversity {
+		t.Fatalf("departments = %d", dept.InstanceCount)
+	}
+	stud, _ := s.Class(UnivStudent)
+	wantStudents := cfg.Universities * cfg.DepartmentsPerUniversity * cfg.StudentsPerDepartment
+	if stud.InstanceCount != wantStudents {
+		t.Fatalf("students = %d, want %d", stud.InstanceCount, wantStudents)
+	}
+	// Properties declared with domains.
+	wf, ok := s.Property(UnivWorksFor)
+	if !ok || len(wf.Domains) != 1 || wf.Domains[0] != UnivProfessor {
+		t.Fatalf("worksFor property wrong: %+v", wf)
+	}
+	if wf.UsageCount != cfg.Universities*cfg.DepartmentsPerUniversity*cfg.ProfessorsPerDepartment {
+		t.Fatalf("worksFor usage = %d", wf.UsageCount)
+	}
+}
+
+func TestGenerateUniversityDeterministic(t *testing.T) {
+	a, _, err := GenerateUniversity(DefaultUniversity(), rng(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateUniversity(DefaultUniversity(), rng(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, tr := range a.Triples() {
+		if !b.Has(tr) {
+			t.Fatalf("graphs differ at %v", tr)
+		}
+	}
+}
+
+func TestGenerateUniversityValidation(t *testing.T) {
+	bad := DefaultUniversity()
+	bad.Universities = 0
+	if _, _, err := GenerateUniversity(bad, rng(1)); err == nil {
+		t.Fatal("zero universities must fail")
+	}
+	bad = DefaultUniversity()
+	bad.StudentsPerDepartment = -1
+	if _, _, err := GenerateUniversity(bad, rng(1)); err == nil {
+		t.Fatal("negative students must fail")
+	}
+}
+
+func TestGenerateUniversityVersions(t *testing.T) {
+	vs, focuses, err := GenerateUniversityVersions(DefaultUniversity(),
+		EvolveConfig{Ops: 40, Locality: 0.8}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Len() != 3 || len(focuses) != 2 {
+		t.Fatalf("versions/focuses = %d/%d", vs.Len(), len(focuses))
+	}
+	d := delta.Compute(vs.At(0).Graph, vs.At(1).Graph)
+	if d.IsEmpty() {
+		t.Fatal("university evolution must produce changes")
+	}
+}

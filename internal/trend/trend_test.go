@@ -1,0 +1,215 @@
+package trend
+
+import (
+	"math"
+	"testing"
+
+	"evorec/internal/measures"
+	"evorec/internal/rdf"
+	"evorec/internal/synth"
+)
+
+func term(s string) rdf.Term { return rdf.SchemaIRI(s) }
+
+func TestSeriesStatistics(t *testing.T) {
+	s := Series{Term: term("A"), Values: []float64{1, 2, 3, 4}}
+	if s.Total() != 10 || s.Mean() != 2.5 {
+		t.Fatalf("total/mean = %g/%g", s.Total(), s.Mean())
+	}
+	if math.Abs(s.Slope()-1) > 1e-12 {
+		t.Fatalf("slope of 1,2,3,4 = %g, want 1", s.Slope())
+	}
+	flat := Series{Values: []float64{3, 3, 3}}
+	if flat.Slope() != 0 || flat.Volatility() != 0 {
+		t.Fatalf("flat slope/vol = %g/%g", flat.Slope(), flat.Volatility())
+	}
+	if flat.BurstIndex() != 1 {
+		t.Fatalf("flat burst index = %g, want 1", flat.BurstIndex())
+	}
+	empty := Series{}
+	if empty.Mean() != 0 || empty.Slope() != 0 || empty.Volatility() != 0 || empty.BurstIndex() != 0 {
+		t.Fatal("empty series statistics must be zero")
+	}
+}
+
+func TestSeriesVolatility(t *testing.T) {
+	s := Series{Values: []float64{0, 10}}
+	if math.Abs(s.Volatility()-5) > 1e-12 {
+		t.Fatalf("volatility of 0,10 = %g, want 5", s.Volatility())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want Shape
+	}{
+		{"quiet", []float64{0, 0, 0}, Quiet},
+		{"rising", []float64{1, 2, 4, 8}, Rising},
+		{"falling", []float64{8, 4, 2, 1}, Falling},
+		{"bursty", []float64{1, 1, 10, 1}, Bursty},
+		{"steady", []float64{5, 6, 5, 6}, Steady},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := Series{Values: c.vals}
+			if got := s.Classify(); got != c.want {
+				t.Fatalf("Classify(%v) = %v, want %v (slope=%g mean=%g burst=%g)",
+					c.vals, got, c.want, s.Slope(), s.Mean(), s.BurstIndex())
+			}
+		})
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	for _, sh := range []Shape{Quiet, Rising, Falling, Bursty, Steady} {
+		if sh.String() == "" {
+			t.Fatal("shape must render")
+		}
+	}
+	if Shape(99).String() == "" {
+		t.Fatal("unknown shape must render")
+	}
+}
+
+func chain(t *testing.T) *rdf.VersionStore {
+	t.Helper()
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 40, Locality: 0.8}, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestAnalyzeAlignment(t *testing.T) {
+	vs := chain(t)
+	a, err := Analyze(vs, measures.ChangeCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeasureID != "change_count" {
+		t.Fatalf("measure ID = %s", a.MeasureID)
+	}
+	wantPairs := vs.Len() - 1
+	if len(a.PairIDs) != wantPairs {
+		t.Fatalf("pairs = %d, want %d", len(a.PairIDs), wantPairs)
+	}
+	// Every series is aligned with the pair axis.
+	for _, tm := range a.Terms() {
+		if got := a.Series(tm).Len(); got != wantPairs {
+			t.Fatalf("series %v length = %d, want %d", tm, got, wantPairs)
+		}
+	}
+	if a.Len() == 0 {
+		t.Fatal("analysis must track entities")
+	}
+	if a.Series(term("NotThere")) != nil {
+		t.Fatal("unknown entity must have nil series")
+	}
+}
+
+func TestAnalyzeNeedsTwoVersions(t *testing.T) {
+	vs := rdf.NewVersionStore()
+	vs.Add(&rdf.Version{ID: "v1", Graph: rdf.NewGraph()})
+	if _, err := Analyze(vs, measures.ChangeCount{}); err == nil {
+		t.Fatal("single-version chain must fail")
+	}
+}
+
+func TestAnalyzeMidChainEntityBackfilled(t *testing.T) {
+	// Build a 3-version chain where a class only appears in v2->v3.
+	g1 := rdf.NewGraph()
+	a := term("A")
+	g1.Add(rdf.T(a, rdf.RDFType, rdf.RDFSClass))
+	g2 := g1.Clone()
+	g2.Add(rdf.T(a, rdf.RDFSLabel, rdf.NewLiteral("x")))
+	g3 := g2.Clone()
+	late := term("Late")
+	g3.Add(rdf.T(late, rdf.RDFType, rdf.RDFSClass))
+
+	vs := rdf.NewVersionStore()
+	for i, g := range []*rdf.Graph{g1, g2, g3} {
+		vs.Add(&rdf.Version{ID: []string{"v1", "v2", "v3"}[i], Graph: g})
+	}
+	an, err := Analyze(vs, measures.ChangeCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := an.Series(late)
+	if s == nil || s.Len() != 2 {
+		t.Fatalf("late series = %+v, want 2 aligned observations", s)
+	}
+	if s.Values[0] != 0 {
+		t.Fatalf("late entity must be backfilled with zero, got %v", s.Values)
+	}
+	if s.Values[1] == 0 {
+		t.Fatal("late entity must register its change in the second pair")
+	}
+}
+
+func TestAnalyzeWithContextsMatchesAnalyze(t *testing.T) {
+	vs := chain(t)
+	var ctxs []*measures.Context
+	vs.Pairs(func(older, newer *rdf.Version) bool {
+		ctxs = append(ctxs, measures.NewContext(older, newer))
+		return true
+	})
+	a1, err := Analyze(vs, measures.ChangeCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnalyzeWithContexts(ctxs, measures.ChangeCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Len() != a2.Len() {
+		t.Fatalf("entity counts differ: %d vs %d", a1.Len(), a2.Len())
+	}
+	for _, tm := range a1.Terms() {
+		s1, s2 := a1.Series(tm), a2.Series(tm)
+		for i := range s1.Values {
+			if s1.Values[i] != s2.Values[i] {
+				t.Fatalf("series differ for %v at %d", tm, i)
+			}
+		}
+	}
+	if _, err := AnalyzeWithContexts(nil, measures.ChangeCount{}); err == nil {
+		t.Fatal("empty contexts must fail")
+	}
+}
+
+func TestTopByAndShapeCounts(t *testing.T) {
+	vs := chain(t)
+	a, err := Analyze(vs, measures.ChangeCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := a.TopTotal(5)
+	if len(top) != 5 {
+		t.Fatalf("TopTotal(5) = %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Total() < top[i].Total() {
+			t.Fatal("TopTotal must be descending")
+		}
+	}
+	rising := a.TopRising(3)
+	for i := 1; i < len(rising); i++ {
+		if rising[i-1].Slope() < rising[i].Slope() {
+			t.Fatal("TopRising must be descending by slope")
+		}
+	}
+	counts := a.ShapeCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != a.Len() {
+		t.Fatalf("shape counts cover %d of %d entities", total, a.Len())
+	}
+	if over := a.TopTotal(10 * a.Len()); len(over) != a.Len() {
+		t.Fatal("over-k TopTotal must return all series")
+	}
+}
