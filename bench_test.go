@@ -6,6 +6,7 @@
 package evorec_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -74,14 +75,103 @@ func benchVersions(b *testing.B) (*evorec.Version, *evorec.Version) {
 	return vs.At(0), vs.At(1)
 }
 
+// sizedTriples builds a deterministic KB-shaped triple set of exactly n
+// triples: typed instances with labels and skewless links, enough term reuse
+// that every index level gets realistic fan-out.
+func sizedTriples(n int) []evorec.Triple {
+	rng := rand.New(rand.NewSource(int64(n)))
+	out := make([]evorec.Triple, 0, n)
+	seen := make(map[evorec.Triple]struct{}, n)
+	add := func(t evorec.Triple) {
+		if _, dup := seen[t]; dup {
+			return
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	classes := 1 + n/400
+	instances := 1 + n/3
+	for len(out) < n {
+		i := rng.Intn(instances)
+		subj := evorec.ResourceIRI(fmt.Sprintf("i%06d", i))
+		switch rng.Intn(4) {
+		case 0:
+			add(evorec.T(subj, evorec.RDFType, evorec.SchemaIRI(fmt.Sprintf("C%03d", rng.Intn(classes)))))
+		case 1:
+			add(evorec.T(subj, evorec.RDFSLabel, evorec.NewLiteral(fmt.Sprintf("thing %d", i))))
+		default:
+			add(evorec.T(subj, evorec.SchemaIRI(fmt.Sprintf("p%02d", rng.Intn(24))),
+				evorec.ResourceIRI(fmt.Sprintf("i%06d", rng.Intn(instances)))))
+		}
+	}
+	return out
+}
+
+// sizedVersionPair materializes a shared-dictionary version pair of n
+// triples with ~2% churn, the shape delta computation sees in production.
+func sizedVersionPair(n int) (*evorec.Graph, *evorec.Graph) {
+	triples := sizedTriples(n)
+	older := evorec.NewGraph()
+	older.Grow(n)
+	older.AddAll(triples)
+	newer := older.Clone()
+	rng := rand.New(rand.NewSource(int64(n) + 1))
+	churn := n/50 + 1
+	for i := 0; i < churn; i++ {
+		newer.Remove(triples[rng.Intn(len(triples))])
+		newer.Add(evorec.T(
+			evorec.ResourceIRI(fmt.Sprintf("new%05d", i)),
+			evorec.SchemaIRI("p00"),
+			evorec.ResourceIRI(fmt.Sprintf("i%06d", rng.Intn(n/3+1)))))
+	}
+	return older, newer
+}
+
+var benchSizes = []struct {
+	name string
+	n    int
+}{{"10k", 10_000}, {"100k", 100_000}}
+
 func BenchmarkGraphAdd(b *testing.B) {
-	older, _ := benchVersions(b)
-	triples := older.Graph.Triples()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g := evorec.NewGraph()
-		g.AddAll(triples)
+	b.Run("synth", func(b *testing.B) {
+		older, _ := benchVersions(b)
+		triples := older.Graph.Triples()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := evorec.NewGraph()
+			g.AddAll(triples)
+		}
+	})
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			triples := sizedTriples(size.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := evorec.NewGraph()
+				g.Grow(len(triples))
+				g.AddAll(triples)
+			}
+		})
+	}
+}
+
+func BenchmarkGraphMatchBound(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			g := evorec.NewGraph()
+			g.AddAll(sizedTriples(size.n))
+			preds := make([]evorec.Term, 24)
+			for i := range preds {
+				preds[i] = evorec.SchemaIRI(fmt.Sprintf("p%02d", i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CountMatch(evorec.Term{}, preds[i%len(preds)], evorec.Term{})
+			}
+		})
 	}
 }
 
@@ -97,11 +187,36 @@ func BenchmarkGraphMatchBoundPredicate(b *testing.B) {
 }
 
 func BenchmarkDeltaCompute(b *testing.B) {
-	older, newer := benchVersions(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		evorec.ComputeDelta(older.Graph, newer.Graph)
+	b.Run("synth", func(b *testing.B) {
+		older, newer := benchVersions(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			evorec.ComputeDelta(older.Graph, newer.Graph)
+		}
+	})
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			older, newer := sizedVersionPair(size.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				evorec.ComputeDelta(older, newer)
+			}
+		})
+	}
+}
+
+func BenchmarkDeltaComputeParallel(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			older, newer := sizedVersionPair(size.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				evorec.ComputeDeltaParallel(older, newer)
+			}
+		})
 	}
 }
 

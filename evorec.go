@@ -67,8 +67,25 @@ type Version = rdf.Version
 // VersionStore holds the ordered versions of one dataset.
 type VersionStore = rdf.VersionStore
 
+// TermID is a dense dictionary-encoded term identifier (see DESIGN.md
+// "Storage & interning"): the integers the hot paths run on.
+type TermID = rdf.TermID
+
+// IDTriple is a triple in dictionary-encoded form.
+type IDTriple = rdf.IDTriple
+
+// Dict is the append-only Term ⇄ TermID interner shared by all versions of
+// one dataset.
+type Dict = rdf.Dict
+
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return rdf.NewGraph() }
+
+// NewDict returns an empty term dictionary.
+func NewDict() *Dict { return rdf.NewDict() }
+
+// NewGraphWithDict returns an empty graph interning into a shared dictionary.
+func NewGraphWithDict(d *Dict) *Graph { return rdf.NewGraphWithDict(d) }
 
 // NewVersionStore returns an empty version store.
 func NewVersionStore() *VersionStore { return rdf.NewVersionStore() }
@@ -118,6 +135,11 @@ type Delta = delta.Delta
 
 // ComputeDelta computes the low-level delta between two graphs.
 func ComputeDelta(older, newer *Graph) *Delta { return delta.Compute(older, newer) }
+
+// ComputeDeltaParallel is ComputeDelta with the scan split across CPU cores;
+// it requires (and the synthetic generators, Clone, and the archive loader
+// guarantee) that both graphs share a term dictionary to gain anything.
+func ComputeDeltaParallel(older, newer *Graph) *Delta { return delta.ComputeParallel(older, newer) }
 
 // HighLevelChange is a detected schema-level change pattern.
 type HighLevelChange = delta.HighLevelChange

@@ -1,0 +1,3 @@
+module evorec
+
+go 1.22

@@ -179,13 +179,17 @@ func Load(dir string) (*rdf.VersionStore, error) {
 		return nil, fmt.Errorf("archive: decoding manifest: %w", err)
 	}
 	vs := rdf.NewVersionStore()
+	// One dictionary across the whole chain: IDs stay stable between loaded
+	// versions, so the delta engine keeps its encoded fast path after a
+	// round-trip through the archive.
+	dict := rdf.NewDict()
 	var prev *rdf.Graph
 	for i, e := range man.Entries {
 		path := filepath.Join(dir, e.File)
 		var g *rdf.Graph
 		switch e.Kind {
 		case "snapshot":
-			g, err = readSnapshot(path)
+			g, err = readSnapshot(path, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -210,14 +214,14 @@ func Load(dir string) (*rdf.VersionStore, error) {
 	return vs, nil
 }
 
-func readSnapshot(path string) (*rdf.Graph, error) {
+func readSnapshot(path string, dict *rdf.Dict) (*rdf.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("archive: opening snapshot: %w", err)
 	}
 	defer f.Close()
-	g, err := rdf.ReadNTriples(f)
-	if err != nil {
+	g := rdf.NewGraphWithDict(dict)
+	if err := rdf.ReadNTriplesInto(g, f); err != nil {
 		return nil, fmt.Errorf("archive: parsing %s: %w", path, err)
 	}
 	return g, nil

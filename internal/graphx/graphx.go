@@ -13,17 +13,40 @@ package graphx
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"evorec/internal/rdf"
 )
 
 // Graph is an undirected graph over rdf.Term nodes with integer-compacted
-// adjacency. Build one with FromAdjacency.
+// adjacency. Build one with FromAdjacency (term-keyed input) or
+// FromAdjacencyIDs (dictionary-encoded input, which skips every term-keyed
+// map on the construction path).
 type Graph struct {
 	nodes []rdf.Term
-	index map[rdf.Term]int
-	adj   [][]int
+	// Exactly one of index / (dict, idIndex) is populated, depending on the
+	// constructor: node lookup goes through the term dictionary when the
+	// graph was built from encoded adjacency, so probes hash a uint32
+	// instead of a three-string struct.
+	index   map[rdf.Term]int
+	dict    *rdf.Dict
+	idIndex map[rdf.TermID]int
+	adj     [][]int
+}
+
+// indexOf resolves a term to its compact node index.
+func (g *Graph) indexOf(t rdf.Term) (int, bool) {
+	if g.dict != nil {
+		id, ok := g.dict.Lookup(t)
+		if !ok {
+			return 0, false
+		}
+		i, ok := g.idIndex[id]
+		return i, ok
+	}
+	i, ok := g.index[t]
+	return i, ok
 }
 
 // FromAdjacency builds a Graph from a term-keyed adjacency map, such as the
@@ -61,6 +84,48 @@ func FromAdjacency(adj map[rdf.Term][]rdf.Term) *Graph {
 	return g
 }
 
+// FromAdjacencyIDs builds a Graph from dictionary-encoded adjacency, such as
+// schema.ClassGraphIDs. It produces a graph identical to FromAdjacency over
+// the decoded terms (same deterministic node order, same scores) but the
+// whole construction hashes only uint32 IDs. The dict must be the one that
+// minted the IDs.
+func FromAdjacencyIDs(dict *rdf.Dict, adj map[rdf.TermID][]rdf.TermID) *Graph {
+	ids := make([]rdf.TermID, 0, len(adj))
+	for id := range adj {
+		ids = append(ids, id)
+	}
+	// Deterministic node order: sorted by decoded term, matching
+	// FromAdjacency so all derived scores are reproducible across the two
+	// construction paths.
+	slices.SortFunc(ids, func(a, b rdf.TermID) int {
+		return dict.TermOf(a).Compare(dict.TermOf(b))
+	})
+	idIndex := make(map[rdf.TermID]int, len(ids))
+	nodes := make([]rdf.Term, len(ids))
+	for i, id := range ids {
+		idIndex[id] = i
+		nodes[i] = dict.TermOf(id)
+	}
+	g := &Graph{nodes: nodes, dict: dict, idIndex: idIndex, adj: make([][]int, len(ids))}
+	for id, ns := range adj {
+		u := idIndex[id]
+		seen := make(map[int]struct{}, len(ns))
+		for _, n := range ns {
+			v, ok := idIndex[n]
+			if !ok || v == u {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			g.adj[u] = append(g.adj[u], v)
+		}
+		sort.Ints(g.adj[u])
+	}
+	return g
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
@@ -82,7 +147,7 @@ func (g *Graph) Nodes() []rdf.Term {
 
 // Degree returns the degree of node t, or 0 if t is not in the graph.
 func (g *Graph) Degree(t rdf.Term) int {
-	i, ok := g.index[t]
+	i, ok := g.indexOf(t)
 	if !ok {
 		return 0
 	}
@@ -91,14 +156,14 @@ func (g *Graph) Degree(t rdf.Term) int {
 
 // HasNode reports whether t is a node of the graph.
 func (g *Graph) HasNode(t rdf.Term) bool {
-	_, ok := g.index[t]
+	_, ok := g.indexOf(t)
 	return ok
 }
 
 // Neighbors returns the nodes adjacent to t, in node-index (sorted term)
 // order; nil for unknown nodes.
 func (g *Graph) Neighbors(t rdf.Term) []rdf.Term {
-	i, ok := g.index[t]
+	i, ok := g.indexOf(t)
 	if !ok {
 		return nil
 	}
@@ -119,8 +184,9 @@ type Scores map[rdf.Term]float64
 // halved).
 func (g *Graph) Betweenness() Scores {
 	cb := make([]float64, len(g.nodes))
+	sc := newBrandesScratch(len(g.nodes))
 	for s := range g.nodes {
-		g.brandesFrom(s, cb)
+		g.brandesFrom(s, cb, sc)
 	}
 	out := make(Scores, len(g.nodes))
 	for i, t := range g.nodes {
@@ -138,9 +204,10 @@ func (g *Graph) BetweennessSampled(k int, rng *rand.Rand) Scores {
 		return g.Betweenness()
 	}
 	cb := make([]float64, n)
+	sc := newBrandesScratch(n)
 	perm := rng.Perm(n)
 	for _, s := range perm[:k] {
-		g.brandesFrom(s, cb)
+		g.brandesFrom(s, cb, sc)
 	}
 	scale := float64(n) / float64(k) / 2
 	out := make(Scores, n)
@@ -150,21 +217,43 @@ func (g *Graph) BetweennessSampled(k int, rng *rand.Rand) Scores {
 	return out
 }
 
+// brandesScratch holds the per-source working arrays of Brandes' algorithm,
+// reused across source iterations so a full betweenness run allocates O(n)
+// once instead of O(n) per source.
+type brandesScratch struct {
+	sigma []float64 // number of shortest paths
+	dist  []int
+	delta []float64
+	pred  [][]int
+	queue []int
+	order []int // nodes in non-decreasing distance
+}
+
+func newBrandesScratch(n int) *brandesScratch {
+	return &brandesScratch{
+		sigma: make([]float64, n),
+		dist:  make([]int, n),
+		delta: make([]float64, n),
+		pred:  make([][]int, n),
+		queue: make([]int, 0, n),
+		order: make([]int, 0, n),
+	}
+}
+
 // brandesFrom runs one Brandes source iteration, accumulating dependencies
 // into cb.
-func (g *Graph) brandesFrom(s int, cb []float64) {
-	n := len(g.nodes)
-	sigma := make([]float64, n) // number of shortest paths
-	dist := make([]int, n)
-	delta := make([]float64, n)
-	pred := make([][]int, n)
+func (g *Graph) brandesFrom(s int, cb []float64, sc *brandesScratch) {
+	sigma, dist, delta, pred := sc.sigma, sc.dist, sc.delta, sc.pred
 	for i := range dist {
+		sigma[i] = 0
 		dist[i] = -1
+		delta[i] = 0
+		pred[i] = pred[i][:0]
 	}
 	sigma[s] = 1
 	dist[s] = 0
-	queue := []int{s}
-	var order []int // nodes in non-decreasing distance
+	queue := append(sc.queue[:0], s)
+	order := sc.order[:0]
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
@@ -189,6 +278,7 @@ func (g *Graph) brandesFrom(s int, cb []float64) {
 			cb[w] += delta[w]
 		}
 	}
+	sc.order = order[:0]
 }
 
 // BridgingCoefficient computes, for every node, the bridging coefficient
@@ -233,7 +323,7 @@ func (g *Graph) BridgingCentrality() Scores {
 // BFSDistances returns the unweighted shortest-path distance from src to
 // every reachable node. Unreachable nodes are absent from the result.
 func (g *Graph) BFSDistances(src rdf.Term) map[rdf.Term]int {
-	s, ok := g.index[src]
+	s, ok := g.indexOf(src)
 	if !ok {
 		return nil
 	}
@@ -265,11 +355,11 @@ func (g *Graph) BFSDistances(src rdf.Term) map[rdf.Term]int {
 // BFSPath returns one shortest path from src to dst (inclusive of both
 // endpoints), or nil when dst is unreachable or either node is unknown.
 func (g *Graph) BFSPath(src, dst rdf.Term) []rdf.Term {
-	s, ok := g.index[src]
+	s, ok := g.indexOf(src)
 	if !ok {
 		return nil
 	}
-	d, ok := g.index[dst]
+	d, ok := g.indexOf(dst)
 	if !ok {
 		return nil
 	}

@@ -37,8 +37,8 @@ func NewContext(older, newer *rdf.Version) *Context {
 		Attr:        delta.Attribute(d),
 		OlderSem:    semantics.NewAnalyzer(older.Graph, so),
 		NewerSem:    semantics.NewAnalyzer(newer.Graph, sn),
-		OlderStruct: graphx.FromAdjacency(so.ClassGraph()),
-		NewerStruct: graphx.FromAdjacency(sn.ClassGraph()),
+		OlderStruct: graphx.FromAdjacencyIDs(so.ClassGraphIDs()),
+		NewerStruct: graphx.FromAdjacencyIDs(sn.ClassGraphIDs()),
 	}
 }
 

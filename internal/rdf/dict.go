@@ -1,0 +1,97 @@
+package rdf
+
+// TermID is a dense dictionary-encoded identifier for a Term. IDs are
+// assigned by a Dict in interning order, starting at 1; the zero TermID is
+// AnyID, the encoded form of the zero (wildcard) Term. A TermID is only
+// meaningful relative to the Dict that minted it.
+//
+// The whole point of the encoding is that the hot paths — the graph
+// tri-index, delta set difference, structural graph construction — hash and
+// compare 4-byte integers instead of re-hashing a struct of three strings
+// on every probe.
+type TermID uint32
+
+// AnyID is the TermID of the zero (wildcard) Term in every Dict.
+const AnyID TermID = 0
+
+// IDTriple is a triple in dictionary-encoded form. Like TermID it is only
+// meaningful relative to one Dict; equal IDTriples from the same Dict denote
+// equal Triples.
+type IDTriple struct {
+	S, P, O TermID
+}
+
+// Dict is an append-only interner mapping Term ⇄ TermID. Interning the same
+// term always returns the same ID, and IDs are dense (1..Len()-1), so they
+// index directly into slices. A Dict is typically shared by every version of
+// one dataset (all graphs in a VersionStore), which keeps IDs stable across
+// versions and lets the delta engine diff ID-triples without touching
+// strings.
+//
+// Dict is not safe for concurrent mutation (Intern); concurrent readers
+// (Lookup, TermOf) are safe once interning stops. Graph read methods never
+// intern, so concurrently reading graphs that share a Dict is safe.
+type Dict struct {
+	terms []Term
+	ids   map[Term]TermID
+}
+
+// NewDict returns a Dict holding only the reserved wildcard entry.
+func NewDict() *Dict {
+	return &Dict{
+		terms: []Term{{}}, // index 0 = zero Term = wildcard
+		ids:   make(map[Term]TermID),
+	}
+}
+
+// Intern returns the ID for t, assigning the next dense ID on first sight.
+// The zero (wildcard) Term always maps to AnyID.
+func (d *Dict) Intern(t Term) TermID {
+	if t.IsWildcard() {
+		return AnyID
+	}
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning. The second result is false
+// when t has never been interned. The wildcard Term reports (AnyID, true).
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	if t.IsWildcard() {
+		return AnyID, true
+	}
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// TermOf decodes an ID back to its Term. IDs not minted by this Dict are out
+// of range and panic, as using them would silently corrupt results.
+func (d *Dict) TermOf(id TermID) Term {
+	return d.terms[id]
+}
+
+// Len returns the number of entries including the reserved wildcard slot, so
+// a slice of Len() elements can be indexed by every valid TermID.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Grow hints that the dictionary will hold at least n terms, preallocating
+// the backing storage to avoid rehash churn during bulk ingestion.
+func (d *Dict) Grow(n int) {
+	if cap(d.terms) < n+1 {
+		terms := make([]Term, len(d.terms), n+1)
+		copy(terms, d.terms)
+		d.terms = terms
+	}
+	if len(d.ids) < n {
+		ids := make(map[Term]TermID, n)
+		for t, id := range d.ids {
+			ids[t] = id
+		}
+		d.ids = ids
+	}
+}

@@ -1,0 +1,146 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomTerm draws a term of a random kind from a bounded value space, so
+// repeated draws collide often enough to exercise the interning path.
+func randomTerm(rng *rand.Rand) Term {
+	v := fmt.Sprintf("v%d", rng.Intn(200))
+	switch rng.Intn(5) {
+	case 0:
+		return NewIRI("http://example.org/" + v)
+	case 1:
+		return NewBlank(v)
+	case 2:
+		return NewLiteral(v)
+	case 3:
+		return NewTypedLiteral(v, "http://www.w3.org/2001/XMLSchema#string")
+	default:
+		return NewLangLiteral(v, "en")
+	}
+}
+
+func TestDictRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDict()
+	seen := make(map[Term]TermID)
+	for i := 0; i < 5000; i++ {
+		term := randomTerm(rng)
+		id := d.Intern(term)
+		// Round trip: decoding the ID yields the identical term.
+		if got := d.TermOf(id); got != term {
+			t.Fatalf("round trip changed term: interned %v, decoded %v", term, got)
+		}
+		// Stability: the same term always gets the same ID.
+		if prev, ok := seen[term]; ok && prev != id {
+			t.Fatalf("unstable ID for %v: first %d, now %d", term, prev, id)
+		}
+		seen[term] = id
+		// Lookup agrees with Intern without minting.
+		if got, ok := d.Lookup(term); !ok || got != id {
+			t.Fatalf("Lookup(%v) = (%d, %v), want (%d, true)", term, got, ok, id)
+		}
+	}
+	// Density: IDs are exactly 1..len(seen), so slices indexed by TermID
+	// waste no space.
+	if d.Len() != len(seen)+1 {
+		t.Fatalf("Len() = %d, want %d distinct terms + wildcard slot", d.Len(), len(seen))
+	}
+	for term, id := range seen {
+		if int(id) < 1 || int(id) >= d.Len() {
+			t.Fatalf("ID %d for %v outside dense range [1, %d)", id, term, d.Len())
+		}
+	}
+}
+
+func TestDictWildcardReserved(t *testing.T) {
+	d := NewDict()
+	if got := d.Intern(Term{}); got != AnyID {
+		t.Fatalf("Intern(wildcard) = %d, want AnyID", got)
+	}
+	if got, ok := d.Lookup(Term{}); !ok || got != AnyID {
+		t.Fatalf("Lookup(wildcard) = (%d, %v), want (AnyID, true)", got, ok)
+	}
+	if got := d.TermOf(AnyID); !got.IsWildcard() {
+		t.Fatalf("TermOf(AnyID) = %v, want wildcard", got)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("fresh dict Len() = %d, want 1 (the wildcard slot)", d.Len())
+	}
+}
+
+func TestDictLookupUnknown(t *testing.T) {
+	d := NewDict()
+	if id, ok := d.Lookup(NewIRI("http://example.org/never")); ok {
+		t.Fatalf("Lookup of unknown term returned (%d, true)", id)
+	}
+}
+
+func TestDictGrowPreservesEntries(t *testing.T) {
+	d := NewDict()
+	a := d.Intern(NewIRI("http://example.org/a"))
+	b := d.Intern(NewLiteral("b"))
+	d.Grow(10000)
+	if got, ok := d.Lookup(NewIRI("http://example.org/a")); !ok || got != a {
+		t.Fatalf("entry a lost after Grow: (%d, %v)", got, ok)
+	}
+	if got := d.TermOf(b); got != NewLiteral("b") {
+		t.Fatalf("entry b corrupted after Grow: %v", got)
+	}
+	if d.Intern(NewIRI("http://example.org/a")) != a {
+		t.Fatal("Grow changed interning of existing term")
+	}
+}
+
+func TestGraphsShareDict(t *testing.T) {
+	d := NewDict()
+	g1 := NewGraphWithDict(d)
+	g2 := NewGraphWithDict(d)
+	tr := T(NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o"))
+	g1.Add(tr)
+	g2.Add(tr)
+	if g1.Dict() != g2.Dict() {
+		t.Fatal("graphs built with NewGraphWithDict do not share the dict")
+	}
+	// The same triple encodes identically in both graphs.
+	var id1, id2 []IDTriple
+	g1.ForEachID(func(t IDTriple) bool { id1 = append(id1, t); return true })
+	g2.ForEachID(func(t IDTriple) bool { id2 = append(id2, t); return true })
+	if len(id1) != 1 || len(id2) != 1 || id1[0] != id2[0] {
+		t.Fatalf("shared-dict encoding differs: %v vs %v", id1, id2)
+	}
+}
+
+func TestCloneSharesDictAndIsIndependent(t *testing.T) {
+	g := NewGraph()
+	tr := T(NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o"))
+	g.Add(tr)
+	c := g.Clone()
+	if c.Dict() != g.Dict() {
+		t.Fatal("Clone must share the dictionary")
+	}
+	tr2 := T(NewIRI("http://x/s2"), NewIRI("http://x/p"), NewIRI("http://x/o"))
+	c.Add(tr2)
+	if g.Has(tr2) {
+		t.Fatal("adding to clone leaked into original")
+	}
+	c.Remove(tr)
+	if !g.Has(tr) {
+		t.Fatal("removing from clone leaked into original")
+	}
+}
+
+func TestGraphGrowKeepsContents(t *testing.T) {
+	g := NewGraph()
+	g.Grow(1000)
+	tr := T(NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o"))
+	g.Add(tr)
+	g.Grow(5000) // non-empty graph: only the dictionary grows
+	if !g.Has(tr) || g.Len() != 1 {
+		t.Fatalf("Grow disturbed graph contents: has=%v len=%d", g.Has(tr), g.Len())
+	}
+}

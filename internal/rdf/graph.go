@@ -5,66 +5,191 @@ package rdf
 // map lookup, which the measure layer depends on: delta attribution looks up
 // by subject and by object, schema extraction by predicate.
 //
+// Internally the graph is dictionary-encoded: every Term is interned to a
+// dense uint32 TermID by a Dict and the tri-index is keyed on IDs, so index
+// probes hash one machine word instead of a struct of three strings. The
+// exported API stays Term-based; translation happens once at the boundary of
+// each call. Graphs created with NewGraphWithDict (and every Clone) share a
+// Dict, which keeps IDs stable across versions of a dataset and enables the
+// ID-level fast paths (HasID, ForEachID) used by the delta engine.
+//
 // The zero value is not ready to use; call NewGraph. Graph is not safe for
-// concurrent mutation; concurrent readers are safe once mutation stops.
+// concurrent mutation; concurrent readers are safe once mutation stops, even
+// across graphs sharing a Dict (read methods never intern).
 type Graph struct {
-	spo index
-	pos index
-	osp index
-	n   int
+	dict *Dict
+	spo  index
+	pos  index
+	osp  index
+	n    int
 }
 
-// index is a three-level nested map: first key -> second key -> set of third.
-type index map[Term]map[Term]termSet
+// index is a two-level map whose leaves are ID lists: first key -> second
+// key -> the third-position IDs. Leaves are slices, not sets: a typical
+// (first, second) pair has a handful of entries, so a compact slice beats a
+// map on both memory and allocation count. Only the SPO index keeps its
+// leaves sorted (it is the one that answers membership); POS and OSP are
+// fed blind appends because SPO has already decided uniqueness.
+type index map[TermID]map[TermID][]TermID
 
-type termSet map[Term]struct{}
+type idSet map[TermID]struct{}
 
-func (ix index) add(a, b, c Term) bool {
+// addSorted inserts c into the sorted leaf for (a, b), reporting whether it
+// was absent. Membership is a binary search, so even pathological fan-out
+// stays O(log n) per probe.
+func (ix index) addSorted(a, b, c TermID) bool {
 	m, ok := ix[a]
 	if !ok {
-		m = make(map[Term]termSet)
+		m = make(map[TermID][]TermID, 2)
 		ix[a] = m
 	}
-	s, ok := m[b]
-	if !ok {
-		s = make(termSet)
-		m[b] = s
-	}
-	if _, dup := s[c]; dup {
+	s := m[b]
+	i := searchIDs(s, c)
+	if i < len(s) && s[i] == c {
 		return false
 	}
-	s[c] = struct{}{}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = c
+	m[b] = s
 	return true
 }
 
-func (ix index) remove(a, b, c Term) bool {
+// appendBlind appends c to the leaf for (a, b) without a membership check;
+// the caller guarantees uniqueness (Graph.Add consults SPO first).
+func (ix index) appendBlind(a, b, c TermID) {
+	m, ok := ix[a]
+	if !ok {
+		m = make(map[TermID][]TermID, 2)
+		ix[a] = m
+	}
+	m[b] = append(m[b], c)
+}
+
+// removeSorted deletes c from the sorted leaf for (a, b), reporting whether
+// it was present, and prunes emptied levels.
+func (ix index) removeSorted(a, b, c TermID) bool {
 	m, ok := ix[a]
 	if !ok {
 		return false
 	}
-	s, ok := m[b]
+	s := m[b]
+	i := searchIDs(s, c)
+	if i >= len(s) || s[i] != c {
+		return false
+	}
+	s = append(s[:i], s[i+1:]...)
+	ix.put(a, b, m, s)
+	return true
+}
+
+// removeScan deletes c from the unsorted leaf for (a, b) by linear scan and
+// swap-delete, pruning emptied levels. The caller guarantees presence.
+func (ix index) removeScan(a, b, c TermID) {
+	m, ok := ix[a]
 	if !ok {
-		return false
+		return
 	}
-	if _, ok := s[c]; !ok {
-		return false
+	s := m[b]
+	for i, x := range s {
+		if x == c {
+			s[i] = s[len(s)-1]
+			s = s[:len(s)-1]
+			ix.put(a, b, m, s)
+			return
+		}
 	}
-	delete(s, c)
+}
+
+// put writes a leaf back, pruning empty leaves and empty second levels so
+// top-level key enumeration (Predicates, Mentions, Subjects) stays exact.
+func (ix index) put(a, b TermID, m map[TermID][]TermID, s []TermID) {
 	if len(s) == 0 {
 		delete(m, b)
 		if len(m) == 0 {
 			delete(ix, a)
 		}
+		return
 	}
-	return true
+	m[b] = s
 }
 
-// NewGraph returns an empty graph.
+// searchIDs returns the insertion point for c in the sorted slice s.
+func searchIDs(s []TermID, c TermID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// clone deep-copies the index. All leaf slices of the copy share one arena
+// allocation, carved up with full (three-index) slice expressions so a later
+// append to any leaf reallocates instead of clobbering its neighbor; this
+// turns O(#leaves) allocations into one, which makes Clone — the backbone of
+// synthetic evolution and delta replay — cheap.
+func (ix index) clone() index {
+	total := 0
+	for _, m := range ix {
+		for _, s := range m {
+			total += len(s)
+		}
+	}
+	arena := make([]TermID, 0, total)
+	out := make(index, len(ix))
+	for a, m := range ix {
+		cm := make(map[TermID][]TermID, len(m))
+		for b, s := range m {
+			start := len(arena)
+			arena = append(arena, s...)
+			cm[b] = arena[start:len(arena):len(arena)]
+		}
+		out[a] = cm
+	}
+	return out
+}
+
+// NewGraph returns an empty graph with its own private dictionary.
 func NewGraph() *Graph {
+	return NewGraphWithDict(NewDict())
+}
+
+// NewGraphWithDict returns an empty graph interning into the given shared
+// dictionary. All versions of one dataset should share a Dict so that IDs
+// are stable across versions; NewVersionStore-based pipelines get this for
+// free because Clone shares the dictionary.
+func NewGraphWithDict(d *Dict) *Graph {
 	return &Graph{
-		spo: make(index),
-		pos: make(index),
-		osp: make(index),
+		dict: d,
+		spo:  make(index),
+		pos:  make(index),
+		osp:  make(index),
+	}
+}
+
+// Dict returns the graph's term dictionary. Two graphs with the same Dict
+// can be diffed entirely on IDs.
+func (g *Graph) Dict() *Dict { return g.dict }
+
+// Grow hints that the graph will hold at least n triples, presizing the
+// dictionary and (for an empty graph) the index maps. It is a pure
+// optimization for bulk ingestion; growing an already-populated graph only
+// grows the dictionary.
+func (g *Graph) Grow(n int) {
+	g.dict.Grow(n) // upper bound: every triple could mint new terms
+	if g.n == 0 && n > 0 {
+		// Subjects dominate the top level; predicates are few. Size the
+		// top-level maps to the likely distinct-subject count (~n/4 for
+		// typical KB shapes) to avoid repeated rehashing.
+		est := n/4 + 1
+		g.spo = make(index, est)
+		g.pos = make(index, 64)
+		g.osp = make(index, est)
 	}
 }
 
@@ -73,11 +198,14 @@ func (g *Graph) Len() int { return g.n }
 
 // Add inserts the triple and reports whether it was not already present.
 func (g *Graph) Add(t Triple) bool {
-	if !g.spo.add(t.S, t.P, t.O) {
+	s := g.dict.Intern(t.S)
+	p := g.dict.Intern(t.P)
+	o := g.dict.Intern(t.O)
+	if !g.spo.addSorted(s, p, o) {
 		return false
 	}
-	g.pos.add(t.P, t.O, t.S)
-	g.osp.add(t.O, t.S, t.P)
+	g.pos.appendBlind(p, o, s)
+	g.osp.appendBlind(o, s, p)
 	g.n++
 	return true
 }
@@ -95,24 +223,61 @@ func (g *Graph) AddAll(ts []Triple) int {
 
 // Remove deletes the triple and reports whether it was present.
 func (g *Graph) Remove(t Triple) bool {
-	if !g.spo.remove(t.S, t.P, t.O) {
+	id, ok := g.lookupTriple(t)
+	if !ok {
 		return false
 	}
-	g.pos.remove(t.P, t.O, t.S)
-	g.osp.remove(t.O, t.S, t.P)
+	if !g.spo.removeSorted(id.S, id.P, id.O) {
+		return false
+	}
+	g.pos.removeScan(id.P, id.O, id.S)
+	g.osp.removeScan(id.O, id.S, id.P)
 	g.n--
 	return true
 }
 
 // Has reports whether the triple is present.
 func (g *Graph) Has(t Triple) bool {
+	id, ok := g.lookupTriple(t)
+	if !ok {
+		return false
+	}
+	return g.HasID(id)
+}
+
+// HasID reports whether the ID-encoded triple is present. The IDs must come
+// from this graph's Dict.
+func (g *Graph) HasID(t IDTriple) bool {
 	if m, ok := g.spo[t.S]; ok {
 		if s, ok := m[t.P]; ok {
-			_, ok := s[t.O]
-			return ok
+			i := searchIDs(s, t.O)
+			return i < len(s) && s[i] == t.O
 		}
 	}
 	return false
+}
+
+// lookupTriple encodes t without interning; ok is false when any term is
+// unknown to the dictionary (and hence the triple cannot be present).
+func (g *Graph) lookupTriple(t Triple) (IDTriple, bool) {
+	s, ok := g.dict.Lookup(t.S)
+	if !ok {
+		return IDTriple{}, false
+	}
+	p, ok := g.dict.Lookup(t.P)
+	if !ok {
+		return IDTriple{}, false
+	}
+	o, ok := g.dict.Lookup(t.O)
+	if !ok {
+		return IDTriple{}, false
+	}
+	return IDTriple{s, p, o}, true
+}
+
+// decode materializes an ID-triple back into Term space.
+func (g *Graph) decode(s, p, o TermID) Triple {
+	return Triple{g.dict.terms[s], g.dict.terms[p], g.dict.terms[o]}
 }
 
 // Match returns all triples matching the pattern, where a zero (wildcard)
@@ -140,63 +305,116 @@ func (g *Graph) CountMatch(s, p, o Term) int {
 
 // ForEachMatch streams every triple matching the pattern to fn, stopping
 // early if fn returns false. It selects the most selective index for the
-// bound positions.
+// bound positions. A bound term the graph has never seen matches nothing.
 func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
+	sid, ok := g.dict.Lookup(s)
+	if !ok {
+		return
+	}
+	pid, ok := g.dict.Lookup(p)
+	if !ok {
+		return
+	}
+	oid, ok := g.dict.Lookup(o)
+	if !ok {
+		return
+	}
 	sb, pb, ob := !s.IsWildcard(), !p.IsWildcard(), !o.IsWildcard()
 	switch {
 	case sb && pb && ob:
-		if g.Has(Triple{s, p, o}) {
-			fn(Triple{s, p, o})
+		if g.HasID(IDTriple{sid, pid, oid}) {
+			fn(g.decode(sid, pid, oid))
 		}
 	case sb && pb:
-		for obj := range g.spo[s][p] {
-			if !fn(Triple{s, p, obj}) {
+		for _, obj := range g.spo[sid][pid] {
+			if !fn(g.decode(sid, pid, obj)) {
 				return
 			}
 		}
 	case sb && ob:
-		for pred := range g.osp[o][s] {
-			if !fn(Triple{s, pred, o}) {
+		for _, pred := range g.osp[oid][sid] {
+			if !fn(g.decode(sid, pred, oid)) {
 				return
 			}
 		}
 	case pb && ob:
-		for sub := range g.pos[p][o] {
-			if !fn(Triple{sub, p, o}) {
+		for _, sub := range g.pos[pid][oid] {
+			if !fn(g.decode(sub, pid, oid)) {
 				return
 			}
 		}
 	case sb:
-		for pred, objs := range g.spo[s] {
-			for obj := range objs {
-				if !fn(Triple{s, pred, obj}) {
+		for pred, objs := range g.spo[sid] {
+			for _, obj := range objs {
+				if !fn(g.decode(sid, pred, obj)) {
 					return
 				}
 			}
 		}
 	case pb:
-		for obj, subs := range g.pos[p] {
-			for sub := range subs {
-				if !fn(Triple{sub, p, obj}) {
+		for obj, subs := range g.pos[pid] {
+			for _, sub := range subs {
+				if !fn(g.decode(sub, pid, obj)) {
 					return
 				}
 			}
 		}
 	case ob:
-		for sub, preds := range g.osp[o] {
-			for pred := range preds {
-				if !fn(Triple{sub, pred, o}) {
+		for sub, preds := range g.osp[oid] {
+			for _, pred := range preds {
+				if !fn(g.decode(sub, pred, oid)) {
 					return
 				}
 			}
 		}
 	default:
-		for sub, preds := range g.spo {
-			for pred, objs := range preds {
-				for obj := range objs {
-					if !fn(Triple{sub, pred, obj}) {
-						return
-					}
+		g.ForEach(fn)
+	}
+}
+
+// ForEach streams every triple in the graph to fn, stopping early if fn
+// returns false. It iterates the SPO index directly — the fast path for full
+// scans (delta computation, serialization) that skips pattern dispatch.
+func (g *Graph) ForEach(fn func(Triple) bool) {
+	for sub, preds := range g.spo {
+		for pred, objs := range preds {
+			for _, obj := range objs {
+				if !fn(g.decode(sub, pred, obj)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ForEachID streams every triple in dictionary-encoded form, stopping early
+// if fn returns false. Combined with HasID on a graph sharing the same Dict
+// it supports set difference without decoding a single string.
+func (g *Graph) ForEachID(fn func(IDTriple) bool) {
+	for sub, preds := range g.spo {
+		for pred, objs := range preds {
+			for _, obj := range objs {
+				if !fn(IDTriple{sub, pred, obj}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ForEachIDShard streams the ID-triples whose subject falls in the given
+// shard (subject ID mod shards). Shards partition the graph, so running one
+// goroutine per shard visits every triple exactly once; the delta engine
+// uses this to parallelize version diffs.
+func (g *Graph) ForEachIDShard(shard, shards int, fn func(IDTriple) bool) {
+	for sub, preds := range g.spo {
+		if int(sub)%shards != shard {
+			continue
+		}
+		for pred, objs := range preds {
+			for _, obj := range objs {
+				if !fn(IDTriple{sub, pred, obj}) {
+					return
 				}
 			}
 		}
@@ -206,7 +424,7 @@ func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
 // Triples returns every triple in the graph in unspecified order.
 func (g *Graph) Triples() []Triple {
 	out := make([]Triple, 0, g.n)
-	g.ForEachMatch(Term{}, Term{}, Term{}, func(t Triple) bool {
+	g.ForEach(func(t Triple) bool {
 		out = append(out, t)
 		return true
 	})
@@ -214,60 +432,130 @@ func (g *Graph) Triples() []Triple {
 }
 
 // Subjects returns the distinct subjects of triples matching (?, p, o).
+// Every case except the p-bound/o-wildcard union reads a level of the
+// tri-index whose entries are distinct by construction, so no dedup set is
+// needed on those paths.
 func (g *Graph) Subjects(p, o Term) []Term {
-	set := make(termSet)
-	g.ForEachMatch(Term{}, p, o, func(t Triple) bool {
-		set[t.S] = struct{}{}
-		return true
-	})
-	return setToSlice(set)
+	pid, ok := g.dict.Lookup(p)
+	if !ok {
+		return nil
+	}
+	oid, ok := g.dict.Lookup(o)
+	if !ok {
+		return nil
+	}
+	switch {
+	case p.IsWildcard() && o.IsWildcard():
+		out := make([]Term, 0, len(g.spo))
+		for sub := range g.spo {
+			out = append(out, g.dict.terms[sub])
+		}
+		return out
+	case p.IsWildcard():
+		m := g.osp[oid]
+		out := make([]Term, 0, len(m))
+		for sub := range m {
+			out = append(out, g.dict.terms[sub])
+		}
+		return out
+	case o.IsWildcard():
+		set := make(idSet)
+		for _, subs := range g.pos[pid] {
+			for _, sub := range subs {
+				set[sub] = struct{}{}
+			}
+		}
+		return g.setToTerms(set)
+	default:
+		return g.idsToTerms(g.pos[pid][oid])
+	}
 }
 
-// Objects returns the distinct objects of triples matching (s, p, ?).
+// Objects returns the distinct objects of triples matching (s, p, ?). As
+// with Subjects, only the s-bound/p-wildcard union needs a dedup set.
 func (g *Graph) Objects(s, p Term) []Term {
-	set := make(termSet)
-	g.ForEachMatch(s, p, Term{}, func(t Triple) bool {
-		set[t.O] = struct{}{}
-		return true
-	})
-	return setToSlice(set)
+	sid, ok := g.dict.Lookup(s)
+	if !ok {
+		return nil
+	}
+	pid, ok := g.dict.Lookup(p)
+	if !ok {
+		return nil
+	}
+	switch {
+	case s.IsWildcard() && p.IsWildcard():
+		out := make([]Term, 0, len(g.osp))
+		for obj := range g.osp {
+			out = append(out, g.dict.terms[obj])
+		}
+		return out
+	case s.IsWildcard():
+		m := g.pos[pid]
+		out := make([]Term, 0, len(m))
+		for obj := range m {
+			out = append(out, g.dict.terms[obj])
+		}
+		return out
+	case p.IsWildcard():
+		set := make(idSet)
+		for _, objs := range g.spo[sid] {
+			for _, obj := range objs {
+				set[obj] = struct{}{}
+			}
+		}
+		return g.setToTerms(set)
+	default:
+		return g.idsToTerms(g.spo[sid][pid])
+	}
 }
 
 // Predicates returns the distinct predicates appearing in the graph.
 func (g *Graph) Predicates() []Term {
 	out := make([]Term, 0, len(g.pos))
 	for p := range g.pos {
-		out = append(out, p)
+		out = append(out, g.dict.terms[p])
 	}
 	return out
 }
 
-// Clone returns a deep, independent copy of the graph.
+// Clone returns a deep, independent copy of the graph. The copy shares the
+// dictionary (which is append-only), so cloning copies only the integer
+// indexes — no term is re-hashed — and the clone can be diffed against the
+// original on the ID fast path.
 func (g *Graph) Clone() *Graph {
-	c := NewGraph()
-	g.ForEachMatch(Term{}, Term{}, Term{}, func(t Triple) bool {
-		c.Add(t)
-		return true
-	})
-	return c
+	return &Graph{
+		dict: g.dict,
+		spo:  g.spo.clone(),
+		pos:  g.pos.clone(),
+		osp:  g.osp.clone(),
+		n:    g.n,
+	}
 }
 
 // Mentions reports whether term x occurs in any position of any triple.
 func (g *Graph) Mentions(x Term) bool {
-	if _, ok := g.spo[x]; ok {
+	id, ok := g.dict.Lookup(x)
+	if !ok {
+		return false
+	}
+	if _, ok := g.spo[id]; ok {
 		return true
 	}
-	if _, ok := g.pos[x]; ok {
+	if _, ok := g.pos[id]; ok {
 		return true
 	}
-	_, ok := g.osp[x]
+	_, ok = g.osp[id]
 	return ok
 }
 
 // DegreeOut returns the number of triples with subject s.
 func (g *Graph) DegreeOut(s Term) int {
+	id, ok := g.dict.Lookup(s)
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, objs := range g.spo[s] {
+	for _, objs := range g.spo[id] {
 		n += len(objs)
 	}
 	return n
@@ -275,17 +563,35 @@ func (g *Graph) DegreeOut(s Term) int {
 
 // DegreeIn returns the number of triples with object o.
 func (g *Graph) DegreeIn(o Term) int {
+	id, ok := g.dict.Lookup(o)
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, preds := range g.osp[o] {
+	for _, preds := range g.osp[id] {
 		n += len(preds)
 	}
 	return n
 }
 
-func setToSlice(s termSet) []Term {
+func (g *Graph) setToTerms(s idSet) []Term {
 	out := make([]Term, 0, len(s))
-	for t := range s {
-		out = append(out, t)
+	for id := range s {
+		out = append(out, g.dict.terms[id])
+	}
+	return out
+}
+
+// idsToTerms decodes an ID list whose entries are already distinct. An
+// empty list returns nil (callers of Subjects/Objects treat nil and empty
+// alike; pre-interning these paths returned a non-nil empty slice).
+func (g *Graph) idsToTerms(ids []TermID) []Term {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Term, len(ids))
+	for i, id := range ids {
+		out[i] = g.dict.terms[id]
 	}
 	return out
 }

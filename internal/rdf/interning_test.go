@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refStore is a deliberately naive triple store: a flat slice scanned
+// linearly. It is the pre-interning semantics oracle — Graph.Match must
+// return exactly what a linear filter over the triples returns, for every
+// pattern shape, after any interleaving of adds and removes.
+type refStore struct {
+	ts []Triple
+}
+
+func (r *refStore) add(t Triple) {
+	for _, x := range r.ts {
+		if x == t {
+			return
+		}
+	}
+	r.ts = append(r.ts, t)
+}
+
+func (r *refStore) remove(t Triple) {
+	for i, x := range r.ts {
+		if x == t {
+			r.ts = append(r.ts[:i], r.ts[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *refStore) match(s, p, o Term) []Triple {
+	var out []Triple
+	for _, t := range r.ts {
+		if (s.IsWildcard() || t.S == s) &&
+			(p.IsWildcard() || t.P == p) &&
+			(o.IsWildcard() || t.O == o) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// synthTriple draws triples from a small synthetic KB-shaped space (typed
+// instances, links, labels) so every pattern position has collisions.
+func synthTriple(rng *rand.Rand) Triple {
+	subj := NewIRI(fmt.Sprintf("http://x/i%d", rng.Intn(40)))
+	switch rng.Intn(4) {
+	case 0:
+		return T(subj, RDFType, NewIRI(fmt.Sprintf("http://x/C%d", rng.Intn(6))))
+	case 1:
+		return T(subj, RDFSLabel, NewLiteral(fmt.Sprintf("label %d", rng.Intn(10))))
+	case 2:
+		return T(subj, NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(8))),
+			NewIRI(fmt.Sprintf("http://x/i%d", rng.Intn(40))))
+	default:
+		return T(NewIRI(fmt.Sprintf("http://x/C%d", rng.Intn(6))), RDFSSubClassOf,
+			NewIRI(fmt.Sprintf("http://x/C%d", rng.Intn(6))))
+	}
+}
+
+// TestMatchEquivalence checks that the dictionary-encoded graph is
+// observationally identical to the naive reference store on a synthetic KB:
+// same Match results for all 8 pattern shapes, same Has/Len, through a
+// workload of interleaved adds and removes.
+func TestMatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := NewGraph()
+	ref := &refStore{}
+
+	check := func(step int) {
+		if g.Len() != len(ref.ts) {
+			t.Fatalf("step %d: Len %d, reference %d", step, g.Len(), len(ref.ts))
+		}
+		// Patterns: every combination of bound/wildcard positions, with the
+		// bound term drawn either from the store or from thin air (to cover
+		// the unknown-term path).
+		var probe Triple
+		if len(ref.ts) > 0 && rng.Intn(4) > 0 {
+			probe = ref.ts[rng.Intn(len(ref.ts))]
+		} else {
+			probe = synthTriple(rng)
+		}
+		for mask := 0; mask < 8; mask++ {
+			var s, p, o Term
+			if mask&1 != 0 {
+				s = probe.S
+			}
+			if mask&2 != 0 {
+				p = probe.P
+			}
+			if mask&4 != 0 {
+				o = probe.O
+			}
+			got := g.Match(s, p, o)
+			want := ref.match(s, p, o)
+			SortTriples(got)
+			SortTriples(want)
+			if len(got) != len(want) {
+				t.Fatalf("step %d mask %d (%v %v %v): %d results, reference %d",
+					step, mask, s, p, o, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d mask %d: result %d differs: %v vs %v",
+						step, mask, i, got[i], want[i])
+				}
+			}
+		}
+		if got, want := g.Has(probe), len(ref.match(probe.S, probe.P, probe.O)) == 1; got != want {
+			t.Fatalf("step %d: Has(%v) = %v, reference %v", step, probe, got, want)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		tr := synthTriple(rng)
+		if rng.Intn(4) == 0 && len(ref.ts) > 0 {
+			victim := ref.ts[rng.Intn(len(ref.ts))]
+			gOK := g.Remove(victim)
+			ref.remove(victim)
+			if !gOK {
+				t.Fatalf("step %d: Remove(%v) returned false for present triple", step, victim)
+			}
+		} else {
+			gNew := g.Add(tr)
+			refNew := len(ref.match(tr.S, tr.P, tr.O)) == 0
+			ref.add(tr)
+			if gNew != refNew {
+				t.Fatalf("step %d: Add(%v) novelty %v, reference %v", step, tr, gNew, refNew)
+			}
+		}
+		if step%20 == 0 {
+			check(step)
+		}
+	}
+	check(400)
+
+	// The same workload must also round-trip through Triples: decoding every
+	// ID yields exactly the reference set.
+	got := g.Triples()
+	want := append([]Triple(nil), ref.ts...)
+	SortTriples(got)
+	SortTriples(want)
+	if len(got) != len(want) {
+		t.Fatalf("Triples: %d vs reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Triples[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

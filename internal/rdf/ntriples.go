@@ -25,6 +25,16 @@ func (e *ParseError) Error() string {
 // first syntax error.
 func ReadNTriples(r io.Reader) (*Graph, error) {
 	g := NewGraph()
+	if err := ReadNTriplesInto(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadNTriplesInto parses N-Triples from r into an existing graph, so
+// callers loading many versions of one dataset (e.g. the archive layer) can
+// intern them all into one shared dictionary.
+func ReadNTriplesInto(g *Graph, r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -32,16 +42,16 @@ func ReadNTriples(r io.Reader) (*Graph, error) {
 		line++
 		t, ok, err := ParseTripleLine(sc.Text(), line)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ok {
 			g.Add(t)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rdf: reading n-triples: %w", err)
+		return fmt.Errorf("rdf: reading n-triples: %w", err)
 	}
-	return g, nil
+	return nil
 }
 
 // WriteNTriples serializes the graph to w in deterministic (sorted) order.

@@ -1,7 +1,7 @@
 package rdf
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -46,10 +46,10 @@ func (t Triple) Mentions(x Term) bool {
 // It is used wherever deterministic output is required (serialization,
 // experiment tables, tests).
 func SortTriples(ts []Triple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	slices.SortFunc(ts, Triple.Compare)
 }
 
 // SortTerms sorts terms with Term.Compare, in place.
 func SortTerms(ts []Term) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	slices.SortFunc(ts, Term.Compare)
 }

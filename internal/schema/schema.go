@@ -351,6 +351,83 @@ func (s *Schema) ClassGraph() map[rdf.Term][]rdf.Term {
 	return adj
 }
 
+// ClassGraphIDs is ClassGraph in dictionary-encoded form: the same nodes and
+// edges, keyed by the graph's TermIDs instead of Terms. It feeds
+// graphx.FromAdjacencyIDs so that structural-graph construction never hashes
+// a term string. The returned Dict is the underlying graph's dictionary.
+// Adjacency lists are deduplicated but not sorted; FromAdjacencyIDs imposes
+// the deterministic order.
+func (s *Schema) ClassGraphIDs() (*rdf.Dict, map[rdf.TermID][]rdf.TermID) {
+	dict := s.graph.Dict()
+	// Every schema term was extracted from the graph's own triples, so it is
+	// already interned; Lookup keeps this accessor strictly read-only, which
+	// the dictionary's concurrency model ("read methods never intern")
+	// depends on. A miss would mean a term from outside the graph — not
+	// producible today — and is skipped rather than interned.
+	adj := make(map[rdf.TermID][]rdf.TermID, len(s.classes))
+	addEdge := func(a, b rdf.TermID) {
+		if a == b {
+			return
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for t := range s.classes {
+		id, ok := dict.Lookup(t)
+		if !ok {
+			continue
+		}
+		if _, ok := adj[id]; !ok {
+			adj[id] = nil
+		}
+	}
+	for _, c := range s.classes {
+		cid, ok := dict.Lookup(c.Term)
+		if !ok {
+			continue
+		}
+		for _, sup := range c.Supers {
+			if sid, ok := dict.Lookup(sup); ok {
+				addEdge(cid, sid)
+			}
+		}
+	}
+	for _, p := range s.properties {
+		for _, d := range p.Domains {
+			did, ok := dict.Lookup(d)
+			if !ok {
+				continue
+			}
+			for _, r := range p.Ranges {
+				if rid, ok := dict.Lookup(r); ok {
+					addEdge(did, rid)
+				}
+			}
+		}
+	}
+	for id, ns := range adj {
+		adj[id] = dedupIDs(ns)
+	}
+	return dict, adj
+}
+
+// dedupIDs removes duplicate IDs in place (order is not preserved).
+func dedupIDs(ids []rdf.TermID) []rdf.TermID {
+	if len(ids) < 2 {
+		return ids
+	}
+	seen := make(map[rdf.TermID]struct{}, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
 // TypesOf returns the classes instance x is typed with, sorted.
 func (s *Schema) TypesOf(x rdf.Term) []rdf.Term {
 	var out []rdf.Term

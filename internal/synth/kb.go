@@ -114,6 +114,10 @@ func Generate(cfg KBConfig, rng *rand.Rand) (*rdf.Graph, *Namer, error) {
 		return nil, nil, err
 	}
 	g := rdf.NewGraph()
+	// Preallocate: ~3 triples per class, 3 per property, 2 per literal
+	// property, and type + literal + links per instance.
+	g.Grow(3*cfg.Classes + 3*cfg.Properties + 2*cfg.LiteralProps +
+		cfg.Instances*(2+cfg.LinksPerInstance))
 	nm := &Namer{}
 
 	// Class tree: each new class attaches below a uniformly random earlier

@@ -78,6 +78,10 @@ func GenerateUniversity(cfg UniversityConfig, rng *rand.Rand) (*rdf.Graph, *Name
 		return nil, nil, err
 	}
 	g := rdf.NewGraph()
+	// Preallocate: each department carries its staff, students and courses,
+	// each contributing a handful of triples.
+	depts := cfg.Universities * cfg.DepartmentsPerUniversity
+	g.Grow(64 + depts*(4+5*cfg.ProfessorsPerDepartment+5*cfg.StudentsPerDepartment+3*cfg.CoursesPerDepartment))
 	nm := &Namer{}
 
 	// Schema: hierarchy.
