@@ -1,5 +1,5 @@
 // Benchmarks: one per experiment table/figure (the bench target column of
-// DESIGN.md §5), each regenerating its table at test scale, plus
+// DESIGN.md §6), each regenerating its table at test scale, plus
 // micro-benchmarks for the substrate layers the pipeline is built from.
 //
 // Run: go test -bench=. -benchmem
@@ -379,6 +379,103 @@ func BenchmarkArchiveSaveLoadDeltaChain(b *testing.B) {
 		if _, err := archive.Load(dir); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// sizedChainStore wraps a sized version pair (shared dictionary, ~2% churn)
+// in a VersionStore, the unit the persistent stores operate on.
+func sizedChainStore(n int) *evorec.VersionStore {
+	older, newer := sizedVersionPair(n)
+	vs := evorec.NewVersionStore()
+	if err := vs.Add(&evorec.Version{ID: "v1", Graph: older}); err != nil {
+		panic(err)
+	}
+	if err := vs.Add(&evorec.Version{ID: "v2", Graph: newer}); err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+func BenchmarkStoreSave(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			vs := sizedChainStore(size.n)
+			dir := b.TempDir()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evorec.SaveStore(dir, vs, evorec.StoreOptions{Policy: evorec.StoreDeltaChain}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreLoad(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			vs := sizedChainStore(size.n)
+			dir := b.TempDir()
+			if _, err := evorec.SaveStore(dir, vs, evorec.StoreOptions{Policy: evorec.StoreDeltaChain}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds, err := evorec.OpenStore(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ds.VersionStore(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreOpenLazy measures the fixed cost of opening a store handle
+// (manifest + string table) without materializing any version — what a
+// service pays per dataset before the first request.
+func BenchmarkStoreOpenLazy(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			vs := sizedChainStore(size.n)
+			dir := b.TempDir()
+			if _, err := evorec.SaveStore(dir, vs, evorec.StoreOptions{Policy: evorec.StoreDeltaChain}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evorec.OpenStore(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArchiveTextSaveLoad is the text-codec counterpart of
+// StoreSave+StoreLoad at the same sizes, so the sized text-vs-binary gap is
+// visible in one bench run.
+func BenchmarkArchiveTextSaveLoad(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(size.name, func(b *testing.B) {
+			vs := sizedChainStore(size.n)
+			dir := b.TempDir()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := archive.Save(dir, vs, archive.Options{Policy: archive.DeltaChain}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := archive.Load(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command evobench regenerates every table and figure of the experiment
-// suite (see DESIGN.md §5 and EXPERIMENTS.md). By default it runs the full
+// suite (see DESIGN.md §6 and EXPERIMENTS.md). By default it runs the full
 // suite at paper scale; -exp selects a single experiment and -scale test
 // runs the reduced setup used by the unit tests.
 package main

@@ -6,6 +6,11 @@
 //	diff       print delta statistics and high-level changes of two versions
 //	measures   print the top-k entities of every evolution measure
 //	recommend  recommend measures for a user's interests
+//	trend      analyze change trends over a chain of versions
+//	archive    pack/unpack versions under an archiving policy
+//	store      pack versions into / inspect the binary segment store
+//	report     personalized evolution digest for a user
+//	summarize  relevance-based schema summary of one version
 //
 // Run "evorec <subcommand> -h" for flags.
 package main
@@ -40,6 +45,8 @@ func main() {
 		err = cmdTrend(os.Args[2:])
 	case "archive":
 		err = cmdArchive(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "summarize":
@@ -67,6 +74,7 @@ subcommands:
   recommend  recommend measures for a user's interests
   trend      analyze change trends over a chain of versions
   archive    pack/unpack versions under an archiving policy
+  store      pack versions into / inspect the binary segment store
   report     personalized evolution digest for a user
   summarize  relevance-based schema summary of one version`)
 }

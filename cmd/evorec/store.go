@@ -1,0 +1,129 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"evorec"
+)
+
+// cmdStore groups operations on the binary segment store. "inspect" dumps a
+// store directory's manifest and verifies every segment's framing and
+// checksum; "pack" writes versions into a new store.
+func cmdStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: evorec store <inspect|pack> [flags]")
+	}
+	switch args[0] {
+	case "inspect":
+		return cmdStoreInspect(args[1:])
+	case "pack":
+		return cmdStorePack(args[1:])
+	default:
+		return fmt.Errorf("unknown store action %q (want inspect or pack)", args[0])
+	}
+}
+
+func cmdStoreInspect(args []string) error {
+	fs := flag.NewFlagSet("store inspect", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: evorec store inspect <dir>")
+	}
+	info, err := evorec.InspectStore(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("format   %s\n", info.Format)
+	fmt.Printf("policy   %s\n", info.Policy)
+	fmt.Printf("terms    %d\n", info.Terms)
+	fmt.Printf("versions %d (%d snapshots, %d deltas)\n",
+		info.Versions, info.Snapshots, info.Deltas)
+	fmt.Printf("bytes    %d\n\n", info.TotalBytes)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "segment\tkind\tid\tbytes\tcontents\tstatus")
+	bad := 0
+	for _, s := range info.Segments {
+		contents := ""
+		switch s.Kind {
+		case "snapshot":
+			contents = fmt.Sprintf("%d triples", s.Triples)
+		case "delta":
+			contents = fmt.Sprintf("+%d -%d", s.Added, s.Deleted)
+		case "dict":
+			contents = fmt.Sprintf("%d terms", info.Terms)
+		}
+		status := "ok"
+		if !s.OK {
+			status = "CORRUPT: " + s.Err
+			bad++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\t%s\n", s.File, s.Kind, s.ID, s.Bytes, contents, status)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d segment(s) failed verification", bad)
+	}
+	return nil
+}
+
+// cmdStorePack writes N-Triples version files into a binary store, the
+// segment-level sibling of "archive -policy ...".
+func cmdStorePack(args []string) error {
+	fs := flag.NewFlagSet("store pack", flag.ExitOnError)
+	policy := fs.String("policy", "hybrid", "storage policy: full, delta, or hybrid")
+	every := fs.Int("every", 4, "snapshot period for the hybrid policy")
+	out := fs.String("out", "store", "store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: evorec store pack [-policy p] -out <dir> <v1.nt> [more versions...]")
+	}
+	var pol evorec.StorePolicy
+	switch *policy {
+	case "full":
+		pol = evorec.StoreFullSnapshots
+	case "delta":
+		pol = evorec.StoreDeltaChain
+	case "hybrid":
+		pol = evorec.StoreHybrid
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	vs := evorec.NewVersionStore()
+	// One dictionary for the whole chain so versions delta-encode compactly.
+	dict := evorec.NewDict()
+	for i := 0; i < fs.NArg(); i++ {
+		f, err := os.Open(fs.Arg(i))
+		if err != nil {
+			return err
+		}
+		g := evorec.NewGraphWithDict(dict)
+		err = evorec.ReadNTriplesInto(g, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", fs.Arg(i), err)
+		}
+		if err := vs.Add(&evorec.Version{ID: fmt.Sprintf("v%d", i+1), Graph: g}); err != nil {
+			return err
+		}
+	}
+	man, err := evorec.SaveStore(*out, vs, evorec.StoreOptions{Policy: pol, SnapshotEvery: *every})
+	if err != nil {
+		return err
+	}
+	size, err := evorec.StoreDiskUsage(*out, man)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored %d versions (%d terms) under %s policy into %s (%d bytes)\n",
+		len(man.Entries), man.Terms, man.Policy, *out, size)
+	return nil
+}

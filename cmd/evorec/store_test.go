@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCmdStorePackAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	v1, v2 := genTestVersions(t, dir)
+	out := filepath.Join(dir, "segstore")
+	if err := cmdStore([]string{"pack", "-policy", "delta", "-out", out, v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStore([]string{"inspect", out}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one segment: inspect must report failure via its exit error.
+	path := filepath.Join(out, "v2.delta")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStore([]string{"inspect", out}); err == nil {
+		t.Fatal("inspect of a corrupted store must fail")
+	}
+	// Usage errors.
+	if err := cmdStore(nil); err == nil {
+		t.Fatal("missing action must fail")
+	}
+	if err := cmdStore([]string{"bogus"}); err == nil {
+		t.Fatal("unknown action must fail")
+	}
+	if err := cmdStore([]string{"inspect"}); err == nil {
+		t.Fatal("inspect without dir must fail")
+	}
+	if err := cmdStore([]string{"pack", "-policy", "bogus", "-out", out, v1}); err == nil {
+		t.Fatal("bad policy must fail")
+	}
+}

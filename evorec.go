@@ -44,6 +44,7 @@ import (
 	"evorec/internal/recommend"
 	"evorec/internal/schema"
 	"evorec/internal/semantics"
+	"evorec/internal/store"
 	"evorec/internal/summary"
 	"evorec/internal/synth"
 	"evorec/internal/trend"
@@ -101,6 +102,10 @@ func T(s, p, o Term) Triple { return rdf.T(s, p, o) }
 
 // ReadNTriples parses N-Triples into a graph.
 func ReadNTriples(r io.Reader) (*Graph, error) { return rdf.ReadNTriples(r) }
+
+// ReadNTriplesInto parses N-Triples into an existing graph, so chains of
+// versions can intern into one shared dictionary.
+func ReadNTriplesInto(g *Graph, r io.Reader) error { return rdf.ReadNTriplesInto(g, r) }
 
 // WriteNTriples serializes a graph as sorted N-Triples.
 func WriteNTriples(w io.Writer, g *Graph) error { return rdf.WriteNTriples(w, g) }
@@ -472,6 +477,61 @@ func LoadArchive(dir string) (*VersionStore, error) { return archive.Load(dir) }
 // ArchiveDiskUsage sums the archive's on-disk footprint.
 func ArchiveDiskUsage(dir string, man *ArchiveManifest) (int64, error) {
 	return archive.DiskUsage(dir, man)
+}
+
+// ArchiveCodec selects the archive's on-disk encoding.
+type ArchiveCodec = archive.Codec
+
+// Archive codecs.
+const (
+	// TextArchive is interoperable N-Triples (the default).
+	TextArchive = archive.Text
+	// BinaryArchive is the dictionary-native segment store.
+	BinaryArchive = archive.Binary
+)
+
+// ---------------------------------------------------------------------------
+// Binary segment store
+
+// StorePolicy selects the binary store's snapshot/delta mix.
+type StorePolicy = store.Policy
+
+// Binary store policies.
+const (
+	StoreFullSnapshots = store.FullSnapshots
+	StoreDeltaChain    = store.DeltaChain
+	StoreHybrid        = store.Hybrid
+)
+
+// StoreOptions parameterize SaveStore.
+type StoreOptions = store.Options
+
+// StoreManifest indexes a saved binary store.
+type StoreManifest = store.Manifest
+
+// StoreDataset is a lazy handle over a stored version chain: versions
+// materialize on first access through a small LRU, so version k can be
+// served without loading the whole chain.
+type StoreDataset = store.Dataset
+
+// StoreInfo is the result of InspectStore.
+type StoreInfo = store.Info
+
+// SaveStore persists a version store to dir in the binary segment format.
+func SaveStore(dir string, vs *VersionStore, opt StoreOptions) (*StoreManifest, error) {
+	return store.Save(dir, vs, opt)
+}
+
+// OpenStore opens a binary store directory as a lazy dataset handle.
+func OpenStore(dir string) (*StoreDataset, error) { return store.Open(dir) }
+
+// InspectStore verifies a store directory's segments without materializing
+// any graph.
+func InspectStore(dir string) (*StoreInfo, error) { return store.Inspect(dir) }
+
+// StoreDiskUsage sums the store's on-disk footprint.
+func StoreDiskUsage(dir string, man *StoreManifest) (int64, error) {
+	return store.DiskUsage(dir, man)
 }
 
 // ---------------------------------------------------------------------------

@@ -5,10 +5,16 @@
 // package supplies that substrate and the A3 ablation compares the policies
 // on storage footprint and reconstruction cost.
 //
-// On-disk layout: a directory with manifest.json plus one file per entry —
-// vN.nt (sorted N-Triples) for snapshots, vN.delta for deltas. A delta file
-// holds one change per line: "A <triple> ." for additions and
+// On-disk layout (Text codec): a directory with manifest.json plus one file
+// per entry — vN.nt (sorted N-Triples) for snapshots, vN.delta for deltas. A
+// delta file holds one change per line: "A <triple> ." for additions and
 // "D <triple> ." for deletions.
+//
+// The Binary codec routes the same policies through internal/store's
+// dictionary-native segment format: the string table is written once and
+// every version is varint-packed ID-triples, so loads skip parsing and
+// re-interning entirely. Load auto-detects the codec from the manifest, so
+// callers read both layouts through one entry point.
 package archive
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"evorec/internal/delta"
 	"evorec/internal/rdf"
+	"evorec/internal/store"
 )
 
 // Policy selects how versions are materialized on disk.
@@ -52,12 +59,40 @@ func (p Policy) String() string {
 	}
 }
 
+// Codec selects the on-disk encoding of an archive.
+type Codec uint8
+
+const (
+	// Text stores N-Triples snapshots and line-based delta files —
+	// interoperable with any RDF tooling, at the cost of re-parsing and
+	// re-interning every load.
+	Text Codec = iota
+	// Binary stores dictionary-native segments via internal/store: the
+	// string table once, then varint-packed ID-triples per version, CRC32-
+	// checked. Smaller and much faster to load; evorec-specific.
+	Binary
+)
+
+// String names the codec.
+func (c Codec) String() string {
+	switch c {
+	case Text:
+		return "text"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
 // Options parameterize Save.
 type Options struct {
 	// Policy selects the archiving policy.
 	Policy Policy
 	// SnapshotEvery is the snapshot period for Hybrid (default 4).
 	SnapshotEvery int
+	// Codec selects the on-disk encoding (default Text).
+	Codec Codec
 }
 
 // Entry describes one archived version in the manifest.
@@ -79,6 +114,10 @@ type Entry struct {
 type Manifest struct {
 	// Policy records the archiving policy used.
 	Policy string `json:"policy"`
+	// Codec records the on-disk encoding; empty means text. For Binary
+	// archives the manifest on disk is the store's own (carrying its format
+	// tag); this view exists for DiskUsage and callers' bookkeeping.
+	Codec string `json:"codec,omitempty"`
 	// Entries lists the archived versions in evolution order.
 	Entries []Entry `json:"entries"`
 }
@@ -91,6 +130,9 @@ const manifestName = "manifest.json"
 func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 	if vs.Len() == 0 {
 		return nil, fmt.Errorf("archive: nothing to save")
+	}
+	if opt.Codec == Binary {
+		return saveBinary(dir, vs, opt)
 	}
 	every := opt.SnapshotEvery
 	if every <= 0 {
@@ -167,12 +209,61 @@ func writeDelta(path string, d *delta.Delta) error {
 	return f.Close()
 }
 
+// saveBinary routes a Binary-codec save through the segment store and
+// returns an archive-level view of its manifest (the dictionary segment
+// rides along as a "dict" entry so DiskUsage accounts for it).
+func saveBinary(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
+	sman, err := store.Save(dir, vs, store.Options{
+		Policy:        storePolicy(opt.Policy),
+		SnapshotEvery: opt.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	man := &Manifest{Policy: sman.Policy, Codec: Binary.String()}
+	man.Entries = append(man.Entries, Entry{ID: "dict", Kind: "dict", File: sman.Dict.File})
+	for _, e := range sman.Entries {
+		man.Entries = append(man.Entries, Entry{
+			ID: e.ID, Kind: e.Kind, File: e.File,
+			Triples: e.Triples, Added: e.Added, Deleted: e.Deleted,
+		})
+	}
+	return man, nil
+}
+
+// storePolicy maps an archive policy onto the segment store's mirror type.
+func storePolicy(p Policy) store.Policy {
+	switch p {
+	case FullSnapshots:
+		return store.FullSnapshots
+	case Hybrid:
+		return store.Hybrid
+	default:
+		return store.DeltaChain
+	}
+}
+
 // Load reads an archive directory back into a version store, reconstructing
-// delta entries by applying them to the previous version.
+// delta entries by applying them to the previous version. Binary-codec
+// directories (written by Save with Codec: Binary, or store.Save directly)
+// are detected from the manifest and routed through the segment store.
 func Load(dir string) (*rdf.VersionStore, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("archive: reading manifest: %w", err)
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("archive: decoding manifest: %w", err)
+	}
+	if probe.Format == store.FormatV1 {
+		ds, err := store.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		return ds.VersionStore()
 	}
 	var man Manifest
 	if err := json.Unmarshal(data, &man); err != nil {
@@ -201,6 +292,10 @@ func Load(dir string) (*rdf.VersionStore, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Encoding against the chain dict lets Apply replay the change
+			// lists as integer index operations instead of re-interning
+			// every term of every changed triple.
+			d.Encode(dict)
 			g = prev.Clone()
 			d.Apply(g)
 		default:

@@ -1,0 +1,143 @@
+package archive
+
+import (
+	"testing"
+
+	"evorec/internal/delta"
+	"evorec/internal/rdf"
+)
+
+// trickyChain builds a three-version chain whose literals exercise every
+// escaping corner: quotes, backslashes, newlines, carriage returns, tabs,
+// non-ASCII unicode (including an astral-plane rune), language tags and
+// datatypes. The delta files must escape exactly like the snapshot writer,
+// or reloading a delta chain diverges from reloading full snapshots.
+func trickyChain(t *testing.T) *rdf.VersionStore {
+	t.Helper()
+	s := rdf.NewIRI("ex:s")
+	p := rdf.NewIRI("ex:p")
+	nasty := []rdf.Term{
+		rdf.NewLiteral(`she said "hi"`),
+		rdf.NewLiteral("line1\nline2\r\ttabbed"),
+		rdf.NewLiteral(`back\slash and trailing \`),
+		rdf.NewLiteral("unicode: δφπ — 漢字 𝄞"),
+		rdf.NewLangLiteral("größe \"quoted\"\n", "de"),
+		rdf.NewTypedLiteral("1\t2", "http://www.w3.org/2001/XMLSchema#string"),
+	}
+	g1 := rdf.NewGraph()
+	for _, o := range nasty[:4] {
+		g1.Add(rdf.T(s, p, o))
+	}
+	// v2 deletes two nasty literals and adds two more, so the delta files
+	// must serialize them; v3 churns again on top.
+	g2 := g1.Clone()
+	g2.Remove(rdf.T(s, p, nasty[0]))
+	g2.Remove(rdf.T(s, p, nasty[1]))
+	g2.Add(rdf.T(s, p, nasty[4]))
+	g2.Add(rdf.T(s, p, nasty[5]))
+	g3 := g2.Clone()
+	g3.Remove(rdf.T(s, p, nasty[4]))
+	g3.Add(rdf.T(s, p, nasty[1]))
+	vs := rdf.NewVersionStore()
+	for i, g := range []*rdf.Graph{g1, g2, g3} {
+		if err := vs.Add(&rdf.Version{ID: []string{"v1", "v2", "v3"}[i], Graph: g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vs
+}
+
+func assertRoundTrip(t *testing.T, vs *rdf.VersionStore, opt Options) {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := Save(dir, vs, opt); err != nil {
+		t.Fatalf("%s/%s: %v", opt.Policy, opt.Codec, err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", opt.Policy, opt.Codec, err)
+	}
+	if back.Len() != vs.Len() {
+		t.Fatalf("%s/%s: reloaded %d versions, want %d", opt.Policy, opt.Codec, back.Len(), vs.Len())
+	}
+	for _, id := range vs.IDs() {
+		want, _ := vs.Get(id)
+		got, ok := back.Get(id)
+		if !ok {
+			t.Fatalf("%s/%s: version %s missing after reload", opt.Policy, opt.Codec, id)
+		}
+		if d := delta.Compute(want.Graph, got.Graph); !d.IsEmpty() {
+			t.Fatalf("%s/%s: version %s diverged after round-trip:\n+%v\n-%v",
+				opt.Policy, opt.Codec, id, d.Added, d.Deleted)
+		}
+	}
+}
+
+// TestTextRoundTripTrickyLiterals locks the text codec's escaping: literals
+// with quotes, newlines and unicode must survive save/load bit-identically
+// under every policy — in particular through the delta files, whose writer
+// (writeDelta via Triple.String) must escape exactly like WriteNTriples.
+func TestTextRoundTripTrickyLiterals(t *testing.T) {
+	vs := trickyChain(t)
+	for _, pol := range []Policy{FullSnapshots, DeltaChain, Hybrid} {
+		t.Run(pol.String(), func(t *testing.T) {
+			assertRoundTrip(t, vs, Options{Policy: pol, SnapshotEvery: 2})
+		})
+	}
+}
+
+// TestBinaryRoundTripTrickyLiterals runs the same chain through the binary
+// codec, which stores raw UTF-8 in the string table and needs no escaping.
+func TestBinaryRoundTripTrickyLiterals(t *testing.T) {
+	vs := trickyChain(t)
+	for _, pol := range []Policy{FullSnapshots, DeltaChain, Hybrid} {
+		t.Run(pol.String(), func(t *testing.T) {
+			assertRoundTrip(t, vs, Options{Policy: pol, SnapshotEvery: 2, Codec: Binary})
+		})
+	}
+}
+
+// TestBinaryCodecSmallerFootprint pins the headline property: for the same
+// chain and policy, the binary codec must occupy fewer bytes than text.
+func TestBinaryCodecSmallerFootprint(t *testing.T) {
+	vs := trickyChain(t)
+	sizes := make(map[Codec]int64)
+	for _, codec := range []Codec{Text, Binary} {
+		dir := t.TempDir()
+		man, err := Save(dir, vs, Options{Policy: DeltaChain, Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if codec == Binary && man.Codec != "binary" {
+			t.Fatalf("binary manifest view codec = %q", man.Codec)
+		}
+		size, err := DiskUsage(dir, man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[codec] = size
+	}
+	if sizes[Binary] >= sizes[Text] {
+		t.Fatalf("binary codec = %d bytes, text = %d; binary must be smaller",
+			sizes[Binary], sizes[Text])
+	}
+}
+
+// TestLoadSharedDictFastPath asserts the reloaded chain supports ID-level
+// diffing regardless of codec — the property the whole substrate exists for.
+func TestLoadSharedDictFastPath(t *testing.T) {
+	vs := trickyChain(t)
+	for _, codec := range []Codec{Text, Binary} {
+		dir := t.TempDir()
+		if _, err := Save(dir, vs, Options{Policy: Hybrid, SnapshotEvery: 2, Codec: codec}); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := delta.ComputeIDs(back.At(0).Graph, back.At(back.Len()-1).Graph); !ok {
+			t.Fatalf("codec %s: reloaded versions must share one dictionary", codec)
+		}
+	}
+}

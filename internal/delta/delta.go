@@ -17,7 +17,10 @@ import (
 
 // Delta is the low-level delta between an older and a newer version: the
 // triples added and the triples deleted. Both slices are sorted for
-// deterministic processing.
+// deterministic processing. Treat a computed Delta as immutable: Apply
+// keeps a dictionary-encoded mirror of the change lists for its fast path,
+// and rewriting Added/Deleted in place (rather than filtering, which the
+// fast path detects by length) would desynchronize the two views.
 type Delta struct {
 	// OlderID and NewerID name the versions the delta spans, when known.
 	OlderID, NewerID string
@@ -25,7 +28,27 @@ type Delta struct {
 	Added []rdf.Triple
 	// Deleted holds δ−: triples present in older but not newer.
 	Deleted []rdf.Triple
+
+	// dict plus the encoded change lists form the ID fast path for Apply:
+	// when the target graph shares dict, the replay runs as integer index
+	// operations without re-interning a single term. Compute fills them on
+	// its shared-dict path; Encode builds them for deltas parsed from text.
+	dict       *rdf.Dict
+	addedIDs   []rdf.IDTriple
+	deletedIDs []rdf.IDTriple
 }
+
+// IDDelta is a delta in dictionary-encoded form: the added and deleted
+// ID-triples, sorted numerically by (S, P, O). Like every ID-level value it
+// is only meaningful relative to the Dict shared by the graphs it was
+// computed from; the binary store serializes these lists directly.
+type IDDelta struct {
+	// Added holds δ+ and Deleted δ−, both sorted with rdf.SortIDTriples.
+	Added, Deleted []rdf.IDTriple
+}
+
+// Size returns |δ| = |δ+| + |δ−|.
+func (d *IDDelta) Size() int { return len(d.Added) + len(d.Deleted) }
 
 // Compute returns the low-level delta between the two graphs.
 //
@@ -38,20 +61,10 @@ func Compute(older, newer *rdf.Graph) *Delta {
 	d := &Delta{}
 	if older.Dict() == newer.Dict() {
 		dict := older.Dict()
-		added := make([]rdf.IDTriple, 0, deltaCap(newer.Len()))
-		deleted := make([]rdf.IDTriple, 0, deltaCap(older.Len()))
-		newer.ForEachID(func(t rdf.IDTriple) bool {
-			if !older.HasID(t) {
-				added = append(added, t)
-			}
-			return true
-		})
-		older.ForEachID(func(t rdf.IDTriple) bool {
-			if !newer.HasID(t) {
-				deleted = append(deleted, t)
-			}
-			return true
-		})
+		added, deleted := collectIDDiff(older, newer)
+		d.dict = dict
+		d.addedIDs = added
+		d.deletedIDs = deleted
 		d.Added = decodeIDs(dict, added)
 		d.Deleted = decodeIDs(dict, deleted)
 	} else {
@@ -108,13 +121,78 @@ func ComputeParallel(older, newer *rdf.Graph) *Delta {
 		}(w)
 	}
 	wg.Wait()
+	added := flattenShards(addedByShard)
+	deleted := flattenShards(deletedByShard)
+	rdf.SortIDTriples(added)
+	rdf.SortIDTriples(deleted)
 	d := &Delta{
-		Added:   decodeIDs(dict, flattenShards(addedByShard)),
-		Deleted: decodeIDs(dict, flattenShards(deletedByShard)),
+		dict:       dict,
+		addedIDs:   added,
+		deletedIDs: deleted,
+		Added:      decodeIDs(dict, added),
+		Deleted:    decodeIDs(dict, deleted),
 	}
 	rdf.SortTriples(d.Added)
 	rdf.SortTriples(d.Deleted)
 	return d
+}
+
+// collectIDDiff returns the sorted added and deleted ID-triple lists between
+// two graphs sharing a Dict — the shared core of Compute and ComputeIDs.
+func collectIDDiff(older, newer *rdf.Graph) (added, deleted []rdf.IDTriple) {
+	added = make([]rdf.IDTriple, 0, deltaCap(newer.Len()))
+	deleted = make([]rdf.IDTriple, 0, deltaCap(older.Len()))
+	newer.ForEachID(func(t rdf.IDTriple) bool {
+		if !older.HasID(t) {
+			added = append(added, t)
+		}
+		return true
+	})
+	older.ForEachID(func(t rdf.IDTriple) bool {
+		if !newer.HasID(t) {
+			deleted = append(deleted, t)
+		}
+		return true
+	})
+	rdf.SortIDTriples(added)
+	rdf.SortIDTriples(deleted)
+	return added, deleted
+}
+
+// ComputeIDs returns the ID-level delta between two graphs sharing a Dict,
+// never decoding a term; ok is false when the graphs have distinct
+// dictionaries (an ID-level diff would be meaningless). The binary store
+// serializes deltas from exactly this form.
+func ComputeIDs(older, newer *rdf.Graph) (d *IDDelta, ok bool) {
+	if older.Dict() != newer.Dict() {
+		return nil, false
+	}
+	added, deleted := collectIDDiff(older, newer)
+	return &IDDelta{Added: added, Deleted: deleted}, true
+}
+
+// DiffSortedIDs computes the ID-level delta between two sorted,
+// duplicate-free ID-triple slices by a single linear merge, returning the
+// (sorted) added and deleted lists. The binary store diffs consecutive
+// encoded snapshots this way without probing either graph's index.
+func DiffSortedIDs(older, newer []rdf.IDTriple) (added, deleted []rdf.IDTriple) {
+	i, j := 0, 0
+	for i < len(older) && j < len(newer) {
+		switch c := older[i].Compare(newer[j]); {
+		case c < 0:
+			deleted = append(deleted, older[i])
+			i++
+		case c > 0:
+			added = append(added, newer[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	deleted = append(deleted, older[i:]...)
+	added = append(added, newer[j:]...)
+	return added, deleted
 }
 
 // deltaCap guesses the accumulator capacity for a delta over a graph of n
@@ -168,7 +246,29 @@ func (d *Delta) IsEmpty() bool { return d.Size() == 0 }
 // Apply replays the delta onto g (deletions first, then additions),
 // returning the number of triples actually removed and added. Applying the
 // delta of (A, B) to a clone of A yields a graph equal to B.
+//
+// When the delta carries encoded change lists for g's own Dict (a delta from
+// Compute over shared-dict graphs, or one passed through Encode), the replay
+// runs entirely on integer index operations; otherwise each triple is
+// re-interned through the term-level path. The fast path is skipped when the
+// exported Added/Deleted slices no longer match the encoded lists in length
+// (a caller filtered them after Compute), so mutation falls back to the
+// term-level replay instead of silently applying stale changes.
 func (d *Delta) Apply(g *rdf.Graph) (removed, added int) {
+	if d.dict != nil && d.dict == g.Dict() &&
+		len(d.addedIDs) == len(d.Added) && len(d.deletedIDs) == len(d.Deleted) {
+		for _, t := range d.deletedIDs {
+			if g.RemoveID(t) {
+				removed++
+			}
+		}
+		for _, t := range d.addedIDs {
+			if g.AddID(t) {
+				added++
+			}
+		}
+		return removed, added
+	}
 	for _, t := range d.Deleted {
 		if g.Remove(t) {
 			removed++
@@ -182,14 +282,39 @@ func (d *Delta) Apply(g *rdf.Graph) (removed, added int) {
 	return removed, added
 }
 
+// Encode interns the delta's triples into dict and caches the ID-encoded
+// change lists, so a later Apply onto any graph sharing dict replays on the
+// integer fast path. The archive loader calls it once per parsed delta file
+// — the chain's versions all share one dictionary, so each change is
+// interned once instead of once per term-level Add/Remove.
+func (d *Delta) Encode(dict *rdf.Dict) {
+	d.dict = dict
+	d.addedIDs = encodeTriples(dict, d.Added)
+	d.deletedIDs = encodeTriples(dict, d.Deleted)
+}
+
+func encodeTriples(dict *rdf.Dict, ts []rdf.Triple) []rdf.IDTriple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]rdf.IDTriple, len(ts))
+	for i, t := range ts {
+		out[i] = rdf.IDTriple{S: dict.Intern(t.S), P: dict.Intern(t.P), O: dict.Intern(t.O)}
+	}
+	return out
+}
+
 // Invert returns the reverse delta: applying Invert() to the newer version
-// yields the older one.
+// yields the older one. Any encoded fast-path lists are swapped along.
 func (d *Delta) Invert() *Delta {
 	inv := &Delta{
-		OlderID: d.NewerID,
-		NewerID: d.OlderID,
-		Added:   make([]rdf.Triple, len(d.Deleted)),
-		Deleted: make([]rdf.Triple, len(d.Added)),
+		OlderID:    d.NewerID,
+		NewerID:    d.OlderID,
+		Added:      make([]rdf.Triple, len(d.Deleted)),
+		Deleted:    make([]rdf.Triple, len(d.Added)),
+		dict:       d.dict,
+		addedIDs:   d.deletedIDs,
+		deletedIDs: d.addedIDs,
 	}
 	copy(inv.Added, d.Deleted)
 	copy(inv.Deleted, d.Added)

@@ -79,6 +79,19 @@ func (d *Dict) TermOf(id TermID) Term {
 // a slice of Len() elements can be indexed by every valid TermID.
 func (d *Dict) Len() int { return len(d.terms) }
 
+// ForEachTerm streams the dictionary entries in ID order (excluding the
+// reserved wildcard slot), stopping early if fn returns false. Because IDs
+// are dense and assigned in interning order, re-interning the streamed terms
+// into a fresh Dict in the same order reproduces the exact ID assignment —
+// the binary store serializes and reloads string tables on this guarantee.
+func (d *Dict) ForEachTerm(fn func(id TermID, t Term) bool) {
+	for i := 1; i < len(d.terms); i++ {
+		if !fn(TermID(i), d.terms[i]) {
+			return
+		}
+	}
+}
+
 // Grow hints that the dictionary will hold at least n terms, preallocating
 // the backing storage to avoid rehash churn during bulk ingestion.
 func (d *Dict) Grow(n int) {

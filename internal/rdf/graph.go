@@ -182,6 +182,14 @@ func (g *Graph) Dict() *Dict { return g.dict }
 // grows the dictionary.
 func (g *Graph) Grow(n int) {
 	g.dict.Grow(n) // upper bound: every triple could mint new terms
+	g.GrowIndex(n)
+}
+
+// GrowIndex presizes only the (empty) graph's index maps, leaving the
+// dictionary alone. It is the right hint for ingestion that never interns —
+// the binary store's snapshot decoder feeds pre-encoded IDs into a shared,
+// already-populated Dict, where Grow's map rebuild would be pure waste.
+func (g *Graph) GrowIndex(n int) {
 	if g.n == 0 && n > 0 {
 		// Subjects dominate the top level; predicates are few. Size the
 		// top-level maps to the likely distinct-subject count (~n/4 for
@@ -219,6 +227,44 @@ func (g *Graph) AddAll(ts []Triple) int {
 		}
 	}
 	return added
+}
+
+// AddID inserts the ID-encoded triple and reports whether it was not already
+// present. The IDs must have been minted by this graph's Dict; out-of-range
+// IDs would decode to garbage later, so callers decoding untrusted input
+// (the binary store) validate IDs against Dict.Len() first.
+func (g *Graph) AddID(t IDTriple) bool {
+	if !g.spo.addSorted(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.appendBlind(t.P, t.O, t.S)
+	g.osp.appendBlind(t.O, t.S, t.P)
+	g.n++
+	return true
+}
+
+// AddIDUnchecked appends the ID-encoded triple without a membership probe.
+// The caller guarantees the triple is absent and that consecutive unchecked
+// adds arrive in ascending (S, P, O) order, which keeps SPO leaves sorted by
+// construction — the contract of the binary store's snapshot decoder, whose
+// runs are sorted and duplicate-free on disk.
+func (g *Graph) AddIDUnchecked(t IDTriple) {
+	g.spo.appendBlind(t.S, t.P, t.O)
+	g.pos.appendBlind(t.P, t.O, t.S)
+	g.osp.appendBlind(t.O, t.S, t.P)
+	g.n++
+}
+
+// RemoveID deletes the ID-encoded triple and reports whether it was present.
+// Like AddID, the IDs must come from this graph's Dict.
+func (g *Graph) RemoveID(t IDTriple) bool {
+	if !g.spo.removeSorted(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.removeScan(t.P, t.O, t.S)
+	g.osp.removeScan(t.O, t.S, t.P)
+	g.n--
+	return true
 }
 
 // Remove deletes the triple and reports whether it was present.

@@ -53,3 +53,33 @@ func SortTriples(ts []Triple) {
 func SortTerms(ts []Term) {
 	slices.SortFunc(ts, Term.Compare)
 }
+
+// Compare orders ID-triples numerically by subject, predicate, then object.
+// Note this is ID (interning) order, not the term order of Triple.Compare.
+func (t IDTriple) Compare(u IDTriple) int {
+	if t.S != u.S {
+		if t.S < u.S {
+			return -1
+		}
+		return 1
+	}
+	if t.P != u.P {
+		if t.P < u.P {
+			return -1
+		}
+		return 1
+	}
+	if t.O != u.O {
+		if t.O < u.O {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SortIDTriples sorts the slice in numeric (S, P, O) order, in place. The
+// binary store's varint delta encoding requires exactly this order.
+func SortIDTriples(ts []IDTriple) {
+	slices.SortFunc(ts, IDTriple.Compare)
+}

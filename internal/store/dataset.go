@@ -1,0 +1,287 @@
+package store
+
+import (
+	"fmt"
+
+	"evorec/internal/rdf"
+)
+
+// DefaultCacheCap is the Dataset's default LRU capacity: big enough to make
+// walking a consecutive pair or small window free, small enough that a long
+// chain never sits fully materialized in RAM.
+const DefaultCacheCap = 4
+
+// Dataset is a lazy handle over a stored version chain. Open decodes only
+// the manifest and the string table; graphs materialize on first access and
+// are kept in a small LRU, so asking for version k costs one snapshot decode
+// plus the delta replays since the nearest snapshot (or cached graph) — not
+// a load of the whole chain.
+//
+// Graphs returned by Graph/GraphAt share the dataset's Dict and are cached;
+// treat them as immutable (the VersionStore convention). A Dataset is not
+// safe for concurrent use.
+type Dataset struct {
+	dir  string
+	man  *Manifest
+	dict *rdf.Dict
+	idx  map[string]int
+	lru  lruCache
+}
+
+// Open reads dir's manifest and dictionary segment and returns a lazy
+// dataset handle with the default cache capacity.
+func Open(dir string) (*Dataset, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := readSegment(dir, man.Dict.File, kindDict)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := decodeDict(man.Dict.File, payload)
+	if err != nil {
+		return nil, err
+	}
+	if dict.Len()-1 != man.Terms {
+		return nil, fmt.Errorf("store: dictionary has %d terms, manifest says %d",
+			dict.Len()-1, man.Terms)
+	}
+	idx := make(map[string]int, len(man.Entries))
+	for i, e := range man.Entries {
+		if _, dup := idx[e.ID]; dup {
+			return nil, fmt.Errorf("store: duplicate version ID %q in manifest", e.ID)
+		}
+		idx[e.ID] = i
+	}
+	return &Dataset{
+		dir:  dir,
+		man:  man,
+		dict: dict,
+		idx:  idx,
+		lru:  lruCache{cap: DefaultCacheCap},
+	}, nil
+}
+
+// SetCacheCap resizes the graph LRU (minimum 1), evicting down if needed.
+func (ds *Dataset) SetCacheCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	ds.lru.cap = n
+	ds.lru.evict()
+}
+
+// Len returns the number of stored versions.
+func (ds *Dataset) Len() int { return len(ds.man.Entries) }
+
+// IDs returns the version IDs in evolution order.
+func (ds *Dataset) IDs() []string {
+	out := make([]string, len(ds.man.Entries))
+	for i, e := range ds.man.Entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Dict returns the dataset's shared term dictionary. Every graph the
+// dataset materializes interns into it, so cross-version diffs run on the
+// ID fast path.
+func (ds *Dataset) Dict() *rdf.Dict { return ds.dict }
+
+// Manifest returns the dataset's manifest.
+func (ds *Dataset) Manifest() *Manifest { return ds.man }
+
+// CacheStats reports the LRU's hit/miss counters over GraphAt requests.
+func (ds *Dataset) CacheStats() (hits, misses int) { return ds.lru.hits, ds.lru.misses }
+
+// Graph materializes the version with the given ID.
+func (ds *Dataset) Graph(id string) (*rdf.Graph, error) {
+	i, ok := ds.idx[id]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown version %q", id)
+	}
+	return ds.GraphAt(i)
+}
+
+// GraphAt materializes the i-th version in evolution order.
+func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
+	if i < 0 || i >= len(ds.man.Entries) {
+		return nil, fmt.Errorf("store: version index %d out of range [0, %d)", i, len(ds.man.Entries))
+	}
+	if g := ds.lru.get(i); g != nil {
+		return g, nil
+	}
+	// Walk back to the nearest reconstruction base: a cached graph or a
+	// snapshot entry (entry 0 is always a snapshot, so this terminates).
+	// Because the walk stops at the first of either, the forward replay
+	// below crosses delta entries only.
+	base := i
+	var g *rdf.Graph
+	for {
+		if cached := ds.lru.peek(base); cached != nil {
+			g = cached.Clone()
+			break
+		}
+		if ds.man.Entries[base].Kind == kindNameSnapshot {
+			var err error
+			if g, err = ds.loadSnapshot(base); err != nil {
+				return nil, err
+			}
+			break
+		}
+		base--
+	}
+	for j := base + 1; j <= i; j++ {
+		if err := ds.applyDelta(j, g); err != nil {
+			return nil, err
+		}
+	}
+	ds.lru.put(i, g)
+	return g, nil
+}
+
+// loadSnapshot decodes entry i's snapshot segment into a fresh graph
+// sharing the dataset dictionary.
+func (ds *Dataset) loadSnapshot(i int) (*rdf.Graph, error) {
+	e := ds.man.Entries[i]
+	payload, err := readSegment(ds.dir, e.File, kindSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	g := rdf.NewGraphWithDict(ds.dict)
+	// Presize only the index: the decoder never interns (the shared dict is
+	// already complete), and the hint is manifest data, so bound it by the
+	// payload size lest a corrupted triple count force a huge allocation.
+	g.GrowIndex(min(e.Triples, len(payload)))
+	// Decoded runs are sorted and duplicate-free (the decoder enforces
+	// strict ordering), so the unchecked bulk ingest is safe.
+	n, err := decodeSnapshot(e.File, payload, ds.dict.Len(), g.AddIDUnchecked)
+	if err != nil {
+		return nil, err
+	}
+	if n != e.Triples {
+		return nil, fmt.Errorf("store: segment %s: %d triples, manifest says %d", e.File, n, e.Triples)
+	}
+	return g, nil
+}
+
+// applyDelta replays entry i's delta segment onto g in place. Deletions are
+// applied before additions, matching delta.Delta.Apply.
+func (ds *Dataset) applyDelta(i int, g *rdf.Graph) error {
+	e := ds.man.Entries[i]
+	payload, err := readSegment(ds.dir, e.File, kindDelta)
+	if err != nil {
+		return err
+	}
+	// The payload stores added-then-deleted but replay is deleted-then-
+	// added (the delta.Delta.Apply order), so buffer both lists. Capacities
+	// come from the manifest, bounded by the (already CRC-validated)
+	// payload size so a corrupted manifest cannot force a huge allocation.
+	added := make([]rdf.IDTriple, 0, min(e.Added, len(payload)))
+	deleted := make([]rdf.IDTriple, 0, min(e.Deleted, len(payload)))
+	nAdded, nDeleted, err := decodeDelta(e.File, payload, ds.dict.Len(),
+		func(t rdf.IDTriple) { added = append(added, t) },
+		func(t rdf.IDTriple) { deleted = append(deleted, t) })
+	if err != nil {
+		return err
+	}
+	if nAdded != e.Added || nDeleted != e.Deleted {
+		return fmt.Errorf("store: segment %s: (%d, %d) changes, manifest says (%d, %d)",
+			e.File, nAdded, nDeleted, e.Added, e.Deleted)
+	}
+	for _, t := range deleted {
+		if !g.RemoveID(t) {
+			return fmt.Errorf("store: segment %s: delta deletes absent triple", e.File)
+		}
+	}
+	for _, t := range added {
+		if !g.AddID(t) {
+			return fmt.Errorf("store: segment %s: delta re-adds present triple", e.File)
+		}
+	}
+	return nil
+}
+
+// VersionStore materializes every version eagerly, walking the chain once
+// without disturbing the LRU. The returned store's graphs all share the
+// dataset dictionary, so delta.Compute keeps its ID fast path after reload.
+func (ds *Dataset) VersionStore() (*rdf.VersionStore, error) {
+	vs := rdf.NewVersionStore()
+	var prev *rdf.Graph
+	for i, e := range ds.man.Entries {
+		var g *rdf.Graph
+		var err error
+		if e.Kind == kindNameSnapshot {
+			g, err = ds.loadSnapshot(i)
+		} else {
+			g = prev.Clone()
+			err = ds.applyDelta(i, g)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := vs.Add(&rdf.Version{ID: e.ID, Graph: g}); err != nil {
+			return nil, err
+		}
+		prev = g
+	}
+	return vs, nil
+}
+
+// lruCache is a tiny index→graph LRU. Capacities are single digits, so the
+// recency list is a slice with most-recent last.
+type lruCache struct {
+	cap    int
+	items  map[int]*rdf.Graph
+	order  []int
+	hits   int
+	misses int
+}
+
+func (c *lruCache) get(i int) *rdf.Graph {
+	g, ok := c.items[i]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.touch(i)
+	return g
+}
+
+// peek returns the cached graph without counting or recency-bumping; the
+// reconstruction walk probes many indexes per materialization and must not
+// distort the stats or the eviction order.
+func (c *lruCache) peek(i int) *rdf.Graph { return c.items[i] }
+
+func (c *lruCache) put(i int, g *rdf.Graph) {
+	if c.items == nil {
+		c.items = make(map[int]*rdf.Graph)
+	}
+	if _, ok := c.items[i]; ok {
+		c.items[i] = g
+		c.touch(i)
+		return
+	}
+	c.items[i] = g
+	c.order = append(c.order, i)
+	c.evict()
+}
+
+func (c *lruCache) touch(i int) {
+	for k, v := range c.order {
+		if v == i {
+			copy(c.order[k:], c.order[k+1:])
+			c.order[len(c.order)-1] = i
+			return
+		}
+	}
+}
+
+func (c *lruCache) evict() {
+	for len(c.order) > c.cap {
+		delete(c.items, c.order[0])
+		c.order = c.order[1:]
+	}
+}

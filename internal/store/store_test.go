@@ -1,0 +1,394 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evorec/internal/delta"
+	"evorec/internal/rdf"
+	"evorec/internal/store"
+	"evorec/internal/synth"
+)
+
+// testChain generates a shared-dict evolving dataset for store tests.
+func testChain(t testing.TB, steps int) *rdf.VersionStore {
+	t.Helper()
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 60, Locality: 0.8}, steps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+// assertSameVersions checks that got reproduces want version by version.
+func assertSameVersions(t *testing.T, want, got *rdf.VersionStore) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("reloaded %d versions, want %d", got.Len(), want.Len())
+	}
+	for i, id := range want.IDs() {
+		if got.IDs()[i] != id {
+			t.Fatalf("version %d ID = %q, want %q", i, got.IDs()[i], id)
+		}
+		wv, _ := want.Get(id)
+		gv, _ := got.Get(id)
+		if gv.Graph.Len() != wv.Graph.Len() {
+			t.Fatalf("version %s: %d triples, want %d", id, gv.Graph.Len(), wv.Graph.Len())
+		}
+		// Term-level diff works across the distinct dictionaries.
+		if d := delta.Compute(wv.Graph, gv.Graph); !d.IsEmpty() {
+			t.Fatalf("version %s differs after round-trip: %d changes", id, d.Size())
+		}
+	}
+}
+
+func TestStoreRoundTripAllPolicies(t *testing.T) {
+	vs := testChain(t, 4)
+	for _, pol := range []store.Policy{store.FullSnapshots, store.DeltaChain, store.Hybrid} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			man, err := store.Save(dir, vs, store.Options{Policy: pol, SnapshotEvery: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Format != store.FormatV1 || len(man.Entries) != vs.Len() {
+				t.Fatalf("manifest = %+v", man)
+			}
+			ds, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ds.VersionStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameVersions(t, vs, back)
+			// Every reloaded graph shares one dictionary, so the delta
+			// engine keeps its ID fast path after a round-trip.
+			for _, id := range back.IDs() {
+				v, _ := back.Get(id)
+				if v.Graph.Dict() != ds.Dict() {
+					t.Fatalf("version %s does not share the dataset dictionary", id)
+				}
+			}
+			if _, ok := delta.ComputeIDs(back.At(0).Graph, back.At(back.Len()-1).Graph); !ok {
+				t.Fatal("reloaded graphs must support ID-level diffing")
+			}
+		})
+	}
+}
+
+func TestStoreStableIDs(t *testing.T) {
+	vs := testChain(t, 2)
+	dict := vs.At(0).Graph.Dict()
+	dir := t.TempDir()
+	if _, err := store.Save(dir, vs, store.Options{Policy: store.DeltaChain}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dict().Len() != dict.Len() {
+		t.Fatalf("reloaded dictionary has %d entries, want %d", ds.Dict().Len(), dict.Len())
+	}
+	for id := rdf.TermID(1); int(id) < dict.Len(); id++ {
+		if ds.Dict().TermOf(id) != dict.TermOf(id) {
+			t.Fatalf("term %d = %v, want %v (IDs must be stable across reload)",
+				id, ds.Dict().TermOf(id), dict.TermOf(id))
+		}
+	}
+}
+
+func TestStoreLazyRandomAccess(t *testing.T) {
+	vs := testChain(t, 5)
+	dir := t.TempDir()
+	if _, err := store.Save(dir, vs, store.Options{Policy: store.Hybrid, SnapshotEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for a middle version directly — no other version is materialized.
+	mid := ds.Len() / 2
+	g, err := ds.GraphAt(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vs.At(mid).Graph
+	if g.Len() != want.Len() || !delta.Compute(want, g).IsEmpty() {
+		t.Fatalf("random access to version %d reconstructed the wrong graph", mid)
+	}
+	// Same request again is a cache hit returning the same graph.
+	g2, err := ds.GraphAt(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatal("second access must hit the LRU and return the cached graph")
+	}
+	if hits, _ := ds.CacheStats(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	// Access by ID agrees with access by index.
+	byID, err := ds.Graph(ds.IDs()[mid])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byID != g {
+		t.Fatal("Graph(id) and GraphAt(i) must resolve to the same cached graph")
+	}
+	if _, err := ds.Graph("no-such-version"); err == nil {
+		t.Fatal("unknown version ID must error")
+	}
+	if _, err := ds.GraphAt(ds.Len()); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	vs := testChain(t, 6)
+	dir := t.TempDir()
+	if _, err := store.Save(dir, vs, store.Options{Policy: store.FullSnapshots}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetCacheCap(1)
+	g0, err := ds.GraphAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.GraphAt(1); err != nil {
+		t.Fatal(err)
+	}
+	// Version 0 was evicted; a fresh reconstruction is a different object
+	// with the same content.
+	g0again, err := ds.GraphAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0again == g0 {
+		t.Fatal("cap-1 LRU must have evicted version 0")
+	}
+	if !delta.Compute(g0, g0again).IsEmpty() {
+		t.Fatal("evicted and reconstructed graphs must be equal")
+	}
+}
+
+func TestStoreForeignDictGraphs(t *testing.T) {
+	// Each version built with its own dictionary: Save must re-encode them
+	// against one dict and still round-trip exactly.
+	vs := rdf.NewVersionStore()
+	g1 := rdf.NewGraph()
+	g1.Add(rdf.T(rdf.NewIRI("ex:a"), rdf.NewIRI("ex:p"), rdf.NewLiteral("x")))
+	g1.Add(rdf.T(rdf.NewIRI("ex:a"), rdf.NewIRI("ex:p"), rdf.NewTypedLiteral("1", "ex:int")))
+	g2 := rdf.NewGraph()
+	g2.Add(rdf.T(rdf.NewIRI("ex:a"), rdf.NewIRI("ex:p"), rdf.NewLiteral("x")))
+	g2.Add(rdf.T(rdf.NewIRI("ex:b"), rdf.NewIRI("ex:q"), rdf.NewLangLiteral("hi", "en")))
+	if err := vs.Add(&rdf.Version{ID: "v1", Graph: g1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Add(&rdf.Version{ID: "v2", Graph: g2}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := store.Save(dir, vs, store.Options{Policy: store.DeltaChain}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ds.VersionStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVersions(t, vs, back)
+}
+
+func TestStoreRejectsEscapingFileNames(t *testing.T) {
+	// A crafted manifest must not be able to point reads outside the store
+	// directory.
+	vs := testChain(t, 1)
+	dir := t.TempDir()
+	if _, err := store.Save(dir, vs, store.Options{Policy: store.FullSnapshots}); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := strings.Replace(string(data), `"dict.seg"`, `"../dict.seg"`, 1)
+	if evil == string(data) {
+		t.Fatal("fixture: dict file name not found in manifest")
+	}
+	if err := os.WriteFile(manPath, []byte(evil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("manifest with escaping file name must be rejected, got %v", err)
+	}
+	if _, err := store.Inspect(dir); err == nil {
+		t.Fatal("Inspect must reject an escaping manifest too")
+	}
+	// A version ID that would escape as a file name is refused at save time.
+	bad := rdf.NewVersionStore()
+	g := rdf.NewGraph()
+	g.Add(rdf.T(rdf.NewIRI("ex:a"), rdf.NewIRI("ex:p"), rdf.NewIRI("ex:b")))
+	if err := bad.Add(&rdf.Version{ID: "../v1", Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save(t.TempDir(), bad, store.Options{}); err == nil {
+		t.Fatal("version ID with a path separator must fail to save")
+	}
+}
+
+func TestStoreEmpty(t *testing.T) {
+	if _, err := store.Save(t.TempDir(), rdf.NewVersionStore(), store.Options{}); err == nil {
+		t.Fatal("saving an empty version store must error")
+	}
+	if _, err := store.Open(t.TempDir()); err == nil {
+		t.Fatal("opening a directory without a manifest must error")
+	}
+}
+
+// corrupt flips one byte at off (negative: from the end) in the file.
+func corrupt(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(data)
+	}
+	data[off] ^= 0x5a
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCorruptionDetected(t *testing.T) {
+	vs := testChain(t, 2)
+	save := func(t *testing.T) string {
+		dir := t.TempDir()
+		if _, err := store.Save(dir, vs, store.Options{Policy: store.DeltaChain}); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	t.Run("dict payload", func(t *testing.T) {
+		dir := save(t)
+		corrupt(t, filepath.Join(dir, "dict.seg"), 40)
+		if _, err := store.Open(dir); err == nil {
+			t.Fatal("corrupted dictionary must fail to open")
+		}
+	})
+	t.Run("snapshot payload", func(t *testing.T) {
+		dir := save(t)
+		corrupt(t, filepath.Join(dir, "v1.snap"), 40)
+		ds, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.GraphAt(0); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("corrupted snapshot must fail the checksum, got %v", err)
+		}
+	})
+	t.Run("delta truncated", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, "v2.delta")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.GraphAt(1); err == nil {
+			t.Fatal("truncated delta must fail to decode")
+		}
+	})
+	t.Run("wrong kind", func(t *testing.T) {
+		dir := save(t)
+		// Swap the delta segment in place of the snapshot.
+		data, err := os.ReadFile(filepath.Join(dir, "v2.delta"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "v1.snap"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.GraphAt(0); err == nil || !strings.Contains(err.Error(), "kind") {
+			t.Fatalf("kind mismatch must be detected, got %v", err)
+		}
+	})
+}
+
+func TestInspect(t *testing.T) {
+	vs := testChain(t, 3)
+	dir := t.TempDir()
+	man, err := store.Save(dir, vs, store.Options{Policy: store.Hybrid, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := store.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != store.FormatV1 || info.Policy != "hybrid" {
+		t.Fatalf("info header = %+v", info)
+	}
+	if info.Versions != vs.Len() || info.Snapshots+info.Deltas != vs.Len() {
+		t.Fatalf("info counts = %+v", info)
+	}
+	if len(info.Segments) != len(man.Entries)+1 {
+		t.Fatalf("info has %d segments, want %d", len(info.Segments), len(man.Entries)+1)
+	}
+	for _, s := range info.Segments {
+		if !s.OK {
+			t.Fatalf("segment %s failed verification: %s", s.File, s.Err)
+		}
+	}
+	usage, err := store.DiskUsage(dir, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage != info.TotalBytes {
+		t.Fatalf("DiskUsage = %d, Inspect total = %d", usage, info.TotalBytes)
+	}
+	// A corrupted segment is reported, not fatal.
+	corrupt(t, filepath.Join(dir, "v1.snap"), -1)
+	info, err = store.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range info.Segments {
+		if s.File == "v1.snap" {
+			found = true
+			if s.OK || s.Err == "" {
+				t.Fatal("corrupted segment must be reported as not OK")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("v1.snap missing from inspection")
+	}
+}
