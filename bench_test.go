@@ -516,3 +516,79 @@ func BenchmarkNotify(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServiceRecommend measures the service facade: "cold" is the
+// first request against a pair (singleflight leader building the measure
+// context), "warm" repeated requests against the cached pair, and
+// "parallel" warm throughput under concurrent clients sharing one dataset
+// (the RWMutex read path).
+func BenchmarkServiceRecommend(b *testing.B) {
+	vs, _, err := synth.GenerateVersions(synth.Small(),
+		synth.EvolveConfig{Ops: 80, Locality: 0.8}, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch := schema.Extract(vs.At(0).Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 8, ExtraInterests: 2},
+		rand.New(rand.NewSource(5)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := evorec.Request{OlderID: "v1", NewerID: "v2", K: 3}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			svc := evorec.NewService(evorec.ServiceConfig{})
+			d, err := svc.Add("bench", vs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := d.Recommend(pool[0], req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		svc := evorec.NewService(evorec.ServiceConfig{})
+		d, err := svc.Add("bench", vs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Recommend(pool[0], req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Recommend(pool[i%len(pool)], req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("parallel", func(b *testing.B) {
+		svc := evorec.NewService(evorec.ServiceConfig{})
+		d, err := svc.Add("bench", vs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Recommend(pool[0], req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := d.Recommend(pool[i%len(pool)], req); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}

@@ -11,6 +11,7 @@
 //	store      pack versions into / inspect the binary segment store
 //	report     personalized evolution digest for a user
 //	summarize  relevance-based schema summary of one version
+//	serve      run the HTTP evolution service over stored datasets
 //
 // Run "evorec <subcommand> -h" for flags.
 package main
@@ -20,8 +21,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
 	"evorec"
 )
@@ -51,6 +50,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "summarize":
 		err = cmdSummarize(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -76,7 +77,8 @@ subcommands:
   archive    pack/unpack versions under an archiving policy
   store      pack versions into / inspect the binary segment store
   report     personalized evolution digest for a user
-  summarize  relevance-based schema summary of one version`)
+  summarize  relevance-based schema summary of one version
+  serve      run the HTTP evolution service over stored datasets`)
 }
 
 func cmdGenerate(args []string) error {
@@ -197,35 +199,10 @@ func cmdMeasures(args []string) error {
 	return nil
 }
 
-// parseInterests parses "Class=0.9,OtherClass=0.4" into a profile. Bare
-// names (no '=') get weight 1. Names without a scheme are resolved in the
-// synthetic schema namespace.
+// parseInterests parses "Class=0.9,OtherClass=0.4" into a profile — the
+// grammar shared with the HTTP API's interests= parameter.
 func parseInterests(id, spec string) (*evorec.Profile, error) {
-	p := evorec.NewProfile(id)
-	if spec == "" {
-		return nil, fmt.Errorf("interests must not be empty (e.g. -interests 'C0001=1,C0002=0.5')")
-	}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		name, weightStr, found := strings.Cut(part, "=")
-		w := 1.0
-		if found {
-			var err error
-			w, err = strconv.ParseFloat(weightStr, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad weight in %q: %w", part, err)
-			}
-		}
-		term := evorec.SchemaIRI(name)
-		if strings.Contains(name, "://") {
-			term = evorec.NewIRI(name)
-		}
-		p.SetInterest(term, w)
-	}
-	return p, nil
+	return evorec.ParseInterests(id, spec)
 }
 
 func cmdRecommend(args []string) error {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"evorec"
+)
+
+// repeatedFlag collects a repeatable -flag value.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *repeatedFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// flagWasSet reports whether the named flag was given explicitly, so the
+// commands can distinguish "use the default" from a user-provided value
+// that must be validated.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// validateCacheCap rejects capacities below 1 with a clear error; silent
+// clamping would hide a misconfigured service.
+func validateCacheCap(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-cache-cap must be >= 1, got %d", n)
+	}
+	return nil
+}
+
+// cmdServe runs the HTTP evolution service: a registry of named datasets
+// (binary store directories and/or empty in-memory datasets) behind the
+// JSON API of internal/server.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheCap := fs.Int("cache-cap", evorec.StoreDefaultCacheCap,
+		"store LRU capacity per disk-backed dataset (minimum 1)")
+	var datasets, mems repeatedFlag
+	fs.Var(&datasets, "dataset", "name=dir of a binary store to serve (repeatable)")
+	fs.Var(&mems, "mem", "name of an empty in-memory dataset to create (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateCacheCap(*cacheCap); err != nil {
+		return err
+	}
+	if len(datasets) == 0 && len(mems) == 0 {
+		return fmt.Errorf("usage: evorec serve [-addr a] [-cache-cap n] -dataset name=dir [-mem name]")
+	}
+	svc := evorec.NewService(evorec.ServiceConfig{CacheCap: *cacheCap})
+	for _, spec := range datasets {
+		name, dir, found := strings.Cut(spec, "=")
+		if !found || name == "" || dir == "" {
+			return fmt.Errorf("-dataset %q must look like name=dir", spec)
+		}
+		d, err := svc.Open(name, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving dataset %q from %s (%d versions)\n", name, dir, len(d.Versions()))
+	}
+	for _, name := range mems {
+		if _, err := svc.Create(name); err != nil {
+			return err
+		}
+		fmt.Printf("serving empty in-memory dataset %q\n", name)
+	}
+	fmt.Printf("evorec service listening on http://%s/v1/datasets\n", *addr)
+	return http.ListenAndServe(*addr, evorec.NewHTTPServer(svc))
+}

@@ -28,11 +28,19 @@ func cmdStore(args []string) error {
 
 func cmdStoreInspect(args []string) error {
 	fs := flag.NewFlagSet("store inspect", flag.ExitOnError)
+	cacheCap := fs.Int("cache-cap", 0,
+		"materialize every version through an LRU of this capacity (minimum 1) and report cache stats")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: evorec store inspect <dir>")
+		return fmt.Errorf("usage: evorec store inspect [-cache-cap n] <dir>")
+	}
+	deep := flagWasSet(fs, "cache-cap")
+	if deep {
+		if err := validateCacheCap(*cacheCap); err != nil {
+			return err
+		}
 	}
 	info, err := evorec.InspectStore(fs.Arg(0))
 	if err != nil {
@@ -69,6 +77,27 @@ func cmdStoreInspect(args []string) error {
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d segment(s) failed verification", bad)
+	}
+	if deep {
+		// Deep verification: reconstruct every version through an LRU of the
+		// requested capacity, proving the chain replays end to end.
+		ds, err := evorec.OpenStore(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if err := evorec.SetStoreCacheCap(ds, *cacheCap); err != nil {
+			return err
+		}
+		fmt.Println()
+		for i, id := range ds.IDs() {
+			g, err := ds.GraphAt(i)
+			if err != nil {
+				return fmt.Errorf("materializing %s: %w", id, err)
+			}
+			fmt.Printf("materialized %-12s %d triples\n", id, g.Len())
+		}
+		hits, misses := evorec.StoreCacheStats(ds)
+		fmt.Printf("cache cap=%d hits=%d misses=%d\n", evorec.StoreCacheCap(ds), hits, misses)
 	}
 	return nil
 }

@@ -44,6 +44,8 @@ import (
 	"evorec/internal/recommend"
 	"evorec/internal/schema"
 	"evorec/internal/semantics"
+	"evorec/internal/server"
+	"evorec/internal/service"
 	"evorec/internal/store"
 	"evorec/internal/summary"
 	"evorec/internal/synth"
@@ -207,6 +209,17 @@ func NewProfile(id string) *Profile { return profile.New(id) }
 func NewGroup(id string, members []*Profile) (*Group, error) {
 	return profile.NewGroup(id, members)
 }
+
+// ParseInterests parses the "Class=0.9,OtherClass=0.4" interest spec the
+// CLI and HTTP API share into a profile. Bare names get weight 1 and
+// resolve in the synthetic schema namespace; "scheme://" names are full
+// IRIs.
+func ParseInterests(id, spec string) (*Profile, error) {
+	return profile.ParseInterests(id, spec)
+}
+
+// ParseUserSpec parses "id:Class=w,Class=w" into a profile.
+func ParseUserSpec(spec string) (*Profile, error) { return profile.ParseUserSpec(spec) }
 
 // ---------------------------------------------------------------------------
 // Recommendation
@@ -517,6 +530,19 @@ type StoreDataset = store.Dataset
 // StoreInfo is the result of InspectStore.
 type StoreInfo = store.Info
 
+// StoreDefaultCacheCap is the store dataset's default graph-LRU capacity.
+const StoreDefaultCacheCap = store.DefaultCacheCap
+
+// SetStoreCacheCap resizes a store dataset's graph LRU (minimum 1; smaller
+// capacities are rejected, not clamped).
+func SetStoreCacheCap(ds *StoreDataset, n int) error { return ds.SetCacheCap(n) }
+
+// StoreCacheStats reports a store dataset's LRU hit/miss counters.
+func StoreCacheStats(ds *StoreDataset) (hits, misses int) { return ds.CacheStats() }
+
+// StoreCacheCap returns a store dataset's current LRU capacity.
+func StoreCacheCap(ds *StoreDataset) int { return ds.CacheCap() }
+
 // SaveStore persists a version store to dir in the binary segment format.
 func SaveStore(dir string, vs *VersionStore, opt StoreOptions) (*StoreManifest, error) {
 	return store.Save(dir, vs, opt)
@@ -647,3 +673,46 @@ func WriteProfileJSON(w io.Writer, p *Profile) error { return p.WriteJSON(w) }
 
 // ReadProfileJSON deserializes a profile written by WriteProfileJSON.
 func ReadProfileJSON(r io.Reader) (*Profile, error) { return profile.ReadJSON(r) }
+
+// ---------------------------------------------------------------------------
+// Concurrent evolution service and HTTP API
+
+// Service is the concurrency-safe multi-dataset registry: each named
+// dataset wraps one engine behind a reader/writer lock with per-pair
+// singleflight, serves recommendations to concurrent clients, and accepts
+// version commits at runtime (see DESIGN.md §7).
+type Service = service.Service
+
+// ServiceConfig parameterizes a Service.
+type ServiceConfig = service.Config
+
+// ServiceDataset is the thread-safe facade over one dataset's engine.
+type ServiceDataset = service.Dataset
+
+// ServiceInfo is a dataset inspection snapshot (versions, cache counters).
+type ServiceInfo = service.Info
+
+// ServiceCommitInfo reports what a runtime version commit did.
+type ServiceCommitInfo = service.CommitInfo
+
+// ServiceDeltaStats summarizes one pair's evolution for inspection.
+type ServiceDeltaStats = service.DeltaStats
+
+// Service sentinel errors; the HTTP layer maps them to statuses.
+var (
+	ErrUnknownDataset   = service.ErrUnknownDataset
+	ErrUnknownVersion   = service.ErrUnknownVersion
+	ErrDuplicateVersion = service.ErrDuplicateVersion
+	ErrDuplicateDataset = service.ErrDuplicateDataset
+)
+
+// NewService returns an empty dataset registry.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// HTTPServer is the HTTP JSON API over a Service; it implements
+// http.Handler, so it mounts on any mux or server ("evorec serve" wires it
+// to a listener).
+type HTTPServer = server.Server
+
+// NewHTTPServer builds the HTTP API over the service.
+func NewHTTPServer(svc *Service) *HTTPServer { return server.New(svc) }

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"evorec/internal/measures"
@@ -32,7 +33,15 @@ type Config struct {
 
 // Engine is the processing model. It caches the expensive per-version-pair
 // structures (contexts and items) so that repeated recommendations against
-// the same pair are cheap. Engine is not safe for concurrent use.
+// the same pair are cheap.
+//
+// Engine is not safe for unsupervised concurrent use: Ingest, Context and
+// Items mutate the caches. It is, however, built to sit behind an external
+// reader/writer lock (internal/service does exactly that): once a pair is
+// cached — observable through HasItems — Recommend, RecommendGroup, Notify
+// and RecommendPrivate only read the caches and append to the (internally
+// synchronized) provenance store, so any number of them may run concurrently
+// under a read lock while cache-building calls hold the write lock.
 type Engine struct {
 	registry *measures.Registry
 	agent    string
@@ -43,6 +52,7 @@ type Engine struct {
 	ctxCache   map[string]*measures.Context
 	itemsCache map[string][]recommend.Item
 	itemsRec   map[string]string // pair key -> provenance record ID
+	ctxBuilds  int               // contexts actually constructed (cache misses)
 }
 
 // New builds an engine from the config.
@@ -127,6 +137,7 @@ func (e *Engine) Context(olderID, newerID string) (*measures.Context, error) {
 	}
 	ctx := measures.NewContext(older, newer)
 	e.ctxCache[key] = ctx
+	e.ctxBuilds++
 	if _, err := e.prov.Append("compute_delta", e.agent, provenance.Inference,
 		[]string{e.versionRec[olderID], e.versionRec[newerID]},
 		[]string{"delta:" + key},
@@ -162,6 +173,59 @@ func (e *Engine) Items(olderID, newerID string) ([]recommend.Item, error) {
 	}
 	e.itemsRec[key] = rec.ID
 	return items, nil
+}
+
+// HasItems reports whether the pair's items (and therefore its context) are
+// already cached. When it returns true, the recommendation entry points read
+// the caches without mutating them, which is what lets a service run them
+// concurrently under a read lock.
+func (e *Engine) HasItems(olderID, newerID string) bool {
+	_, ok := e.itemsCache[pairKey(olderID, newerID)]
+	return ok
+}
+
+// ContextBuilds returns how many measure contexts the engine actually
+// constructed (cache misses). A service wrapping the engine with singleflight
+// can assert that hammering one pair from many goroutines builds it once.
+func (e *Engine) ContextBuilds() int { return e.ctxBuilds }
+
+// CachedPairs returns the pair keys with cached items, sorted.
+func (e *Engine) CachedPairs() []string {
+	out := make([]string, 0, len(e.itemsCache))
+	for key := range e.itemsCache {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InvalidatePair drops one pair's cached context and items, reporting
+// whether anything was cached. The next request against the pair rebuilds.
+func (e *Engine) InvalidatePair(olderID, newerID string) bool {
+	key := pairKey(olderID, newerID)
+	_, hadCtx := e.ctxCache[key]
+	_, hadItems := e.itemsCache[key]
+	delete(e.ctxCache, key)
+	delete(e.itemsCache, key)
+	delete(e.itemsRec, key)
+	return hadCtx || hadItems
+}
+
+// InvalidateVersion drops every cached pair that involves the version and
+// returns how many pairs were dropped. Committing a replacement or repaired
+// version invalidates exactly the derived state that read it — untouched
+// pairs keep their caches.
+func (e *Engine) InvalidateVersion(id string) int {
+	n := 0
+	for key, ctx := range e.ctxCache {
+		if ctx.Older.ID == id || ctx.Newer.ID == id {
+			delete(e.ctxCache, key)
+			delete(e.itemsCache, key)
+			delete(e.itemsRec, key)
+			n++
+		}
+	}
+	return n
 }
 
 // Strategy selects the single-user recommendation algorithm.

@@ -280,3 +280,60 @@ func TestZeroConfigDefaults(t *testing.T) {
 }
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestCacheAccessorsAndInvalidation(t *testing.T) {
+	e, _ := testEngine(t) // v1..v3 ingested
+	if e.HasItems("v1", "v2") || e.ContextBuilds() != 0 || len(e.CachedPairs()) != 0 {
+		t.Fatal("fresh engine must have empty caches")
+	}
+	if _, err := e.Items("v1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Items("v2", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasItems("v1", "v2") || !e.HasItems("v2", "v3") {
+		t.Fatal("built pairs must report HasItems")
+	}
+	if got := e.ContextBuilds(); got != 2 {
+		t.Fatalf("ContextBuilds = %d, want 2", got)
+	}
+	if got := e.CachedPairs(); len(got) != 2 || got[0] != "v1->v2" || got[1] != "v2->v3" {
+		t.Fatalf("CachedPairs = %v", got)
+	}
+	// Cached re-request does not build again.
+	if _, err := e.Items("v1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ContextBuilds(); got != 2 {
+		t.Fatalf("cache hit incremented ContextBuilds to %d", got)
+	}
+	// InvalidateVersion drops exactly the pairs that read the version.
+	if n := e.InvalidateVersion("v2"); n != 2 {
+		t.Fatalf("InvalidateVersion(v2) dropped %d pairs, want 2", n)
+	}
+	if e.HasItems("v1", "v2") || e.HasItems("v2", "v3") || len(e.CachedPairs()) != 0 {
+		t.Fatal("invalidated pairs must be gone")
+	}
+	if n := e.InvalidateVersion("v2"); n != 0 {
+		t.Fatalf("second invalidation dropped %d pairs, want 0", n)
+	}
+	// The next request rebuilds transparently.
+	if _, err := e.Items("v1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ContextBuilds(); got != 3 {
+		t.Fatalf("rebuild after invalidation: ContextBuilds = %d, want 3", got)
+	}
+	// InvalidatePair is the single-pair hook.
+	if !e.InvalidatePair("v1", "v2") {
+		t.Fatal("InvalidatePair must report the drop")
+	}
+	if e.InvalidatePair("v1", "v2") {
+		t.Fatal("second InvalidatePair must report nothing cached")
+	}
+	// An invalidated pair that only dropped items still recommends correctly.
+	if _, err := e.Context("v1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -119,22 +119,42 @@ func (p *Profile) Cosine(scores map[rdf.Term]float64) float64 {
 	return CosineVectors(p.Interests, scores)
 }
 
-// CosineVectors computes the cosine similarity of two sparse vectors.
+// CosineVectors computes the cosine similarity of two sparse vectors. The
+// summands are accumulated in ascending order, so the score is a function
+// of the vectors alone: map iteration order varies per run, and naive
+// accumulation would make repeated recommendations differ in the last bits
+// — visible once a service starts comparing concurrent results against
+// serial ones. Sorting also adds the small terms first, which is the more
+// accurate order.
 func CosineVectors(a, b map[rdf.Term]float64) float64 {
-	var dot, na, nb float64
+	dots := make([]float64, 0, len(a))
+	nas := make([]float64, 0, len(a))
 	for t, w := range a {
-		na += w * w
+		nas = append(nas, w*w)
 		if v, ok := b[t]; ok {
-			dot += w * v
+			dots = append(dots, w*v)
 		}
 	}
+	nbs := make([]float64, 0, len(b))
 	for _, v := range b {
-		nb += v * v
+		nbs = append(nbs, v*v)
 	}
+	na, nb := sumSorted(nas), sumSorted(nbs)
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return sumSorted(dots) / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// sumSorted adds the summands smallest-first, making the floating-point
+// result deterministic for a given multiset.
+func sumSorted(xs []float64) float64 {
+	sort.Float64s(xs)
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 // JaccardInterests computes the Jaccard similarity of the supported entity

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -68,9 +69,13 @@ type Record struct {
 }
 
 // Store is an append-only provenance log with artifact and lineage indexes.
-// The zero value is not ready; use NewStore. Store is not safe for
-// concurrent mutation.
+// The zero value is not ready; use NewStore. Store is safe for concurrent
+// use: every recommendation the service layer runs in parallel appends its
+// record here, so the log carries its own lock rather than leaning on the
+// callers' discipline. Records handed out are shared — treat them as
+// immutable.
 type Store struct {
+	mu        sync.RWMutex
 	records   []*Record
 	byID      map[string]*Record
 	producers map[string][]string // artifact -> producing record IDs, in order
@@ -105,6 +110,8 @@ func (s *Store) Append(activity, agent string, src Source, inputs, artifacts []s
 	if len(artifacts) == 0 {
 		return nil, fmt.Errorf("provenance: record for %q must produce at least one artifact", activity)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, in := range inputs {
 		if _, ok := s.byID[in]; !ok {
 			return nil, fmt.Errorf("provenance: input record %q does not exist", in)
@@ -130,16 +137,24 @@ func (s *Store) Append(activity, agent string, src Source, inputs, artifacts []s
 }
 
 // Len returns the number of records.
-func (s *Store) Len() int { return len(s.records) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
 
 // Get returns the record with the given ID.
 func (s *Store) Get(id string) (*Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	r, ok := s.byID[id]
 	return r, ok
 }
 
 // Records returns all records in append order.
 func (s *Store) Records() []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Record, len(s.records))
 	copy(out, s.records)
 	return out
@@ -148,6 +163,12 @@ func (s *Store) Records() []*Record {
 // ProducersOf returns the records that produced the artifact, in append
 // order. The first is the creator; later ones are modifications.
 func (s *Store) ProducersOf(artifact string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.producersOfLocked(artifact)
+}
+
+func (s *Store) producersOfLocked(artifact string) []*Record {
 	ids := s.producers[artifact]
 	out := make([]*Record, len(ids))
 	for i, id := range ids {
@@ -158,6 +179,12 @@ func (s *Store) ProducersOf(artifact string) []*Record {
 
 // Creator returns the record that first produced the artifact.
 func (s *Store) Creator(artifact string) (*Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.creatorLocked(artifact)
+}
+
+func (s *Store) creatorLocked(artifact string) (*Record, bool) {
 	ps := s.producers[artifact]
 	if len(ps) == 0 {
 		return nil, false
@@ -168,7 +195,13 @@ func (s *Store) Creator(artifact string) (*Record, bool) {
 // Modifiers returns the records that re-produced the artifact after its
 // creation.
 func (s *Store) Modifiers(artifact string) []*Record {
-	ps := s.ProducersOf(artifact)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.modifiersLocked(artifact)
+}
+
+func (s *Store) modifiersLocked(artifact string) []*Record {
+	ps := s.producersOfLocked(artifact)
 	if len(ps) <= 1 {
 		return nil
 	}
@@ -178,6 +211,12 @@ func (s *Store) Modifiers(artifact string) []*Record {
 // Lineage returns every record the artifact transitively depends on,
 // including its own producers, ordered by record ID (i.e. creation order).
 func (s *Store) Lineage(artifact string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lineageLocked(artifact)
+}
+
+func (s *Store) lineageLocked(artifact string) []*Record {
 	seen := make(map[string]bool)
 	var stack []string
 	stack = append(stack, s.producers[artifact]...)
@@ -206,21 +245,23 @@ func (s *Store) Lineage(artifact string) []*Record {
 // modifications, and the full derivation chain — the §III-b questions in
 // one document.
 func (s *Store) Report(artifact string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Transparency report for %q\n", artifact)
-	creator, ok := s.Creator(artifact)
+	creator, ok := s.creatorLocked(artifact)
 	if !ok {
 		b.WriteString("  no provenance recorded\n")
 		return b.String()
 	}
 	fmt.Fprintf(&b, "  created by %s via %s (%s) at %s\n",
 		creator.Agent, creator.Activity, creator.Source, creator.Time.Format(time.RFC3339))
-	for _, m := range s.Modifiers(artifact) {
+	for _, m := range s.modifiersLocked(artifact) {
 		fmt.Fprintf(&b, "  modified by %s via %s (%s) at %s\n",
 			m.Agent, m.Activity, m.Source, m.Time.Format(time.RFC3339))
 	}
 	b.WriteString("  derivation:\n")
-	for _, r := range s.Lineage(artifact) {
+	for _, r := range s.lineageLocked(artifact) {
 		fmt.Fprintf(&b, "    [%s] %s by %s (%s) -> %s\n",
 			r.ID, r.Activity, r.Agent, r.Source, strings.Join(r.Artifacts, ", "))
 	}

@@ -1,0 +1,603 @@
+// Package server exposes the concurrent service layer as an HTTP JSON API
+// (stdlib net/http only), the "live query/notification endpoint over
+// versioned datasets" shape that published Linked Data spaces such as
+// LinkedCT take. `evorec serve` wires it to a listener.
+//
+// Endpoints (all JSON; errors are {"error": "..."} with 400/404/409):
+//
+//	GET  /v1/datasets                                   list datasets
+//	POST /v1/datasets/{name}                            create an in-memory dataset
+//	GET  /v1/datasets/{name}                            inspect (versions, cache counters)
+//	POST /v1/datasets/{name}/versions/{id}              commit a version (N-Triples body)
+//	GET  /v1/datasets/{name}/delta?older=&newer=        delta statistics
+//	GET  /v1/datasets/{name}/measures?older=&newer=&k=  measure evaluations
+//	GET  /v1/datasets/{name}/recommend                  per-user recommendation
+//	GET  /v1/datasets/{name}/recommend/group            group recommendation
+//	GET  /v1/datasets/{name}/notify                     notification feed
+//
+// Recommendation knobs ride as query parameters: older, newer, k, strategy
+// (plain|mmr|maxmin|novelty|semantic), lambda, interests (Class=w,... — the
+// requesting user), privacy (kanon, epsilon, seed, pool=id:Class=w,...
+// repeated), group membership (member=id:Class=w,... repeated, agg, fair,
+// alpha) and notification thresholds (user=... repeated, threshold, k).
+// Profiles are request-scoped: each request parses its own profiles, so
+// concurrent requests never share mutable user state.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"evorec/internal/core"
+	"evorec/internal/profile"
+	"evorec/internal/recommend"
+	"evorec/internal/service"
+)
+
+// Server is the HTTP front-end over a Service. It implements http.Handler
+// and is safe for concurrent use.
+type Server struct {
+	svc *service.Service
+	mux *http.ServeMux
+}
+
+// New builds the HTTP API over the service.
+func New(svc *service.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleInspect)
+	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/versions/{id}", s.handleCommit)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/delta", s.handleDelta)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/measures", s.handleMeasures)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/recommend/group", s.handleRecommendGroup)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/notify", s.handleNotify)
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------------------
+// JSON plumbing
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps service sentinel errors to HTTP statuses; everything else
+// (malformed input wrapped by the handlers) is a 400.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, service.ErrUnknownDataset), errors.Is(err, service.ErrUnknownVersion):
+		status = http.StatusNotFound
+	case errors.Is(err, service.ErrDuplicateVersion), errors.Is(err, service.ErrDuplicateDataset):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// ---------------------------------------------------------------------------
+// Query-parameter parsing
+
+// parseInterests and parseUserSpec are the grammar shared with the CLI,
+// building request-scoped profiles.
+var (
+	parseInterests = profile.ParseInterests
+	parseUserSpec  = profile.ParseUserSpec
+)
+
+func parseStrategy(name string) (core.Strategy, error) {
+	switch name {
+	case "", "plain":
+		return core.Plain, nil
+	case "mmr":
+		return core.DiverseMMR, nil
+	case "maxmin":
+		return core.DiverseMaxMin, nil
+	case "novelty":
+		return core.NoveltyAware, nil
+	case "semantic":
+		return core.SemanticDiverse, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want plain|mmr|maxmin|novelty|semantic)", name)
+	}
+}
+
+func parseAggregation(name string) (recommend.Aggregation, error) {
+	switch name {
+	case "", "average":
+		return recommend.Average, nil
+	case "least_misery":
+		return recommend.LeastMisery, nil
+	case "most_pleasure":
+		return recommend.MostPleasure, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregation %q (want average|least_misery|most_pleasure)", name)
+	}
+}
+
+// intParam parses an integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// floatParam parses a float query parameter with a default.
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not a number", name, v)
+	}
+	return f, nil
+}
+
+// pairParams extracts the older/newer version pair, both required.
+func pairParams(r *http.Request) (older, newer string, err error) {
+	older = r.URL.Query().Get("older")
+	newer = r.URL.Query().Get("newer")
+	if older == "" || newer == "" {
+		return "", "", fmt.Errorf("parameters older and newer are required")
+	}
+	return older, newer, nil
+}
+
+func (s *Server) dataset(r *http.Request) (*service.Dataset, error) {
+	return s.svc.Get(r.PathValue("name"))
+}
+
+// ---------------------------------------------------------------------------
+// Dataset registry handlers
+
+type infoJSON struct {
+	Name              string   `json:"name"`
+	Backed            bool     `json:"backed"`
+	Dir               string   `json:"dir,omitempty"`
+	Policy            string   `json:"policy,omitempty"`
+	SnapshotEvery     int      `json:"snapshot_every,omitempty"`
+	Versions          []string `json:"versions"`
+	Terms             int      `json:"terms"`
+	StoreCacheCap     int      `json:"store_cache_cap,omitempty"`
+	StoreCacheHits    int      `json:"store_cache_hits"`
+	StoreCacheMisses  int      `json:"store_cache_misses"`
+	ContextBuilds     int      `json:"context_builds"`
+	CachedPairs       []string `json:"cached_pairs"`
+	ProvenanceRecords int      `json:"provenance_records"`
+}
+
+func toInfoJSON(info service.Info) infoJSON {
+	out := infoJSON{
+		Name:              info.Name,
+		Backed:            info.Backed,
+		Dir:               info.Dir,
+		Policy:            info.Policy,
+		SnapshotEvery:     info.SnapshotEvery,
+		Versions:          info.Versions,
+		Terms:             info.Terms,
+		StoreCacheCap:     info.StoreCacheCap,
+		StoreCacheHits:    info.StoreCacheHits,
+		StoreCacheMisses:  info.StoreCacheMisses,
+		ContextBuilds:     info.ContextBuilds,
+		CachedPairs:       info.CachedPairs,
+		ProvenanceRecords: info.ProvenanceRecords,
+	}
+	if out.Versions == nil {
+		out.Versions = []string{}
+	}
+	if out.CachedPairs == nil {
+		out.CachedPairs = []string{}
+	}
+	return out
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	infos := s.svc.Infos()
+	out := struct {
+		Datasets []infoJSON `json:"datasets"`
+	}{Datasets: make([]infoJSON, 0, len(infos))}
+	for _, info := range infos {
+		out.Datasets = append(out.Datasets, toInfoJSON(info))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toInfoJSON(d.Info()))
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	d, err := s.svc.Create(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toInfoJSON(d.Info()))
+}
+
+// ---------------------------------------------------------------------------
+// Version and analysis handlers
+
+// maxCommitBody bounds a commit request's N-Triples body (128 MiB). The
+// body is read fully before the dataset's write lock is taken — Commit
+// parses under the lock (the body interns into the shared dictionary), and
+// a slow client must not be able to stall every reader of the dataset for
+// the duration of its upload.
+const maxCommitBody = 128 << 20
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCommitBody))
+	if err != nil {
+		writeErr(w, fmt.Errorf("reading commit body: %w", err))
+		return
+	}
+	info, err := d.Commit(r.PathValue("id"), bytes.NewReader(body))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		ID      string `json:"id"`
+		Triples int    `json:"triples"`
+		Kind    string `json:"kind"`
+	}{info.ID, info.Triples, info.Kind})
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	older, newer, err := pairParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	stats, err := d.Delta(older, newer)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if stats.HighLevel == nil {
+		stats.HighLevel = []string{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Older     string   `json:"older"`
+		Newer     string   `json:"newer"`
+		Added     int      `json:"added"`
+		Deleted   int      `json:"deleted"`
+		Size      int      `json:"size"`
+		HighLevel []string `json:"high_level"`
+	}{stats.Older, stats.Newer, stats.Added, stats.Deleted,
+		stats.Added + stats.Deleted, stats.HighLevel})
+}
+
+type entityScoreJSON struct {
+	Entity string  `json:"entity"`
+	Score  float64 `json:"score"`
+}
+
+func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	older, newer, err := pairParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 3)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	evals, err := d.Measures(older, newer, k)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type measureJSON struct {
+		ID       string            `json:"id"`
+		Name     string            `json:"name"`
+		Category string            `json:"category"`
+		Top      []entityScoreJSON `json:"top"`
+	}
+	out := struct {
+		Older    string        `json:"older"`
+		Newer    string        `json:"newer"`
+		Measures []measureJSON `json:"measures"`
+	}{Older: older, Newer: newer, Measures: make([]measureJSON, 0, len(evals))}
+	for _, ev := range evals {
+		mj := measureJSON{ID: ev.ID, Name: ev.Name, Category: ev.Category, Top: []entityScoreJSON{}}
+		for _, e := range ev.Top {
+			mj.Top = append(mj.Top, entityScoreJSON{Entity: e.Entity, Score: e.Score})
+		}
+		out.Measures = append(out.Measures, mj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---------------------------------------------------------------------------
+// Recommendation handlers
+
+type recJSON struct {
+	Rank    int     `json:"rank"`
+	Measure string  `json:"measure"`
+	Score   float64 `json:"score"`
+}
+
+func toRecJSON(sel []recommend.Recommendation) []recJSON {
+	out := make([]recJSON, 0, len(sel))
+	for i, rec := range sel {
+		out = append(out, recJSON{Rank: i + 1, Measure: rec.MeasureID, Score: rec.Score})
+	}
+	return out
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	older, newer, err := pairParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	k, err := intParam(r, "k", 3)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	strat, err := parseStrategy(q.Get("strategy"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	lambda, err := floatParam(r, "lambda", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	userID := q.Get("user_id")
+	if userID == "" {
+		userID = "anonymous"
+	}
+	u, err := parseInterests(userID, q.Get("interests"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	req := core.Request{OlderID: older, NewerID: newer, K: k, Strategy: strat, Lambda: lambda}
+
+	kanon, err := intParam(r, "kanon", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// k-anonymity below 2 cannot anonymize anything; accepting kanon=1 would
+	// report "private": true over the raw profile.
+	if kanon == 1 || kanon < 0 {
+		writeErr(w, fmt.Errorf("kanon must be 0 (off) or >= 2, got %d", kanon))
+		return
+	}
+	epsilon, err := floatParam(r, "epsilon", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if epsilon < 0 {
+		writeErr(w, fmt.Errorf("epsilon must be >= 0, got %g", epsilon))
+		return
+	}
+	var sel []recommend.Recommendation
+	private := kanon >= 2 || epsilon > 0
+	if private {
+		seed, err := intParam(r, "seed", 0)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		pool := []*profile.Profile{u}
+		for _, spec := range q["pool"] {
+			p, err := parseUserSpec(spec)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			pool = append(pool, p)
+		}
+		pol := core.PrivacyPolicy{KAnonymity: kanon, Epsilon: epsilon, Seed: int64(seed)}
+		sel, err = d.RecommendPrivate(pool, 0, req, pol)
+	} else {
+		sel, err = d.Recommend(u, req)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		User            string    `json:"user"`
+		Older           string    `json:"older"`
+		Newer           string    `json:"newer"`
+		Strategy        string    `json:"strategy"`
+		Private         bool      `json:"private,omitempty"`
+		Recommendations []recJSON `json:"recommendations"`
+	}{u.ID, older, newer, strat.String(), private, toRecJSON(sel)})
+}
+
+func (s *Server) handleRecommendGroup(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	older, newer, err := pairParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	k, err := intParam(r, "k", 3)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	agg, err := parseAggregation(q.Get("agg"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	alpha, err := floatParam(r, "alpha", 0.5)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	specs := q["member"]
+	if len(specs) == 0 {
+		writeErr(w, fmt.Errorf("at least one member=id:Class=w parameter is required"))
+		return
+	}
+	members := make([]*profile.Profile, 0, len(specs))
+	for _, spec := range specs {
+		p, err := parseUserSpec(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		members = append(members, p)
+	}
+	groupID := q.Get("group_id")
+	if groupID == "" {
+		groupID = "group"
+	}
+	g, err := profile.NewGroup(groupID, members)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fair := q.Get("fair") == "1" || q.Get("fair") == "true"
+	req := core.GroupRequest{
+		OlderID: older, NewerID: newer, K: k,
+		Aggregation: agg, FairGreedy: fair, FairAlpha: alpha,
+	}
+	sel, err := d.RecommendGroup(g, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	mode := agg.String()
+	if fair {
+		mode = fmt.Sprintf("fair_greedy(α=%.2f)", alpha)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Group           string    `json:"group"`
+		Members         int       `json:"members"`
+		Older           string    `json:"older"`
+		Newer           string    `json:"newer"`
+		Mode            string    `json:"mode"`
+		Recommendations []recJSON `json:"recommendations"`
+	}{g.ID, g.Size(), older, newer, mode, toRecJSON(sel)})
+}
+
+func (s *Server) handleNotify(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	older, newer, err := pairParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	k, err := intParam(r, "k", 1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	threshold, err := floatParam(r, "threshold", 0.1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	specs := q["user"]
+	if len(specs) == 0 {
+		writeErr(w, fmt.Errorf("at least one user=id:Class=w parameter is required"))
+		return
+	}
+	pool := make([]*profile.Profile, 0, len(specs))
+	for _, spec := range specs {
+		p, err := parseUserSpec(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		pool = append(pool, p)
+	}
+	notes, err := d.Notify(pool, older, newer, threshold, k)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type noteJSON struct {
+		User        string  `json:"user"`
+		Measure     string  `json:"measure"`
+		Relatedness float64 `json:"relatedness"`
+		Reason      string  `json:"reason"`
+	}
+	out := struct {
+		Older         string     `json:"older"`
+		Newer         string     `json:"newer"`
+		Threshold     float64    `json:"threshold"`
+		Notifications []noteJSON `json:"notifications"`
+	}{Older: older, Newer: newer, Threshold: threshold, Notifications: []noteJSON{}}
+	for _, n := range notes {
+		out.Notifications = append(out.Notifications, noteJSON{
+			User: n.UserID, Measure: n.MeasureID,
+			Relatedness: n.Relatedness, Reason: n.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

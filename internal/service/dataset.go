@@ -1,0 +1,423 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"evorec/internal/core"
+	"evorec/internal/delta"
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+	"evorec/internal/recommend"
+	"evorec/internal/store"
+)
+
+// Dataset is the thread-safe facade over one named dataset's engine. The
+// zero value is not usable; Service.Open/Create/Add construct datasets.
+//
+// Locking: mu guards the engine, the backing store handle and the version
+// chain. Requests against an already-built pair proceed under RLock (the
+// engine only reads its caches then — see core.Engine's contract); pair
+// builds, commits and cache resizing take the write lock, with the
+// per-pair flightGroup collapsing concurrent builds of one pair into a
+// single engine call.
+type Dataset struct {
+	name string
+	dir  string
+
+	mu      sync.RWMutex
+	eng     *core.Engine
+	sds     *store.Dataset // nil for in-memory datasets
+	flights flightGroup
+}
+
+// newDataset wires a dataset facade. sds is nil for in-memory datasets; vs,
+// when non-nil, seeds the engine with an existing chain.
+func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg Config) (*Dataset, error) {
+	eng := core.New(core.Config{Registry: cfg.Registry, Agent: cfg.Agent, Clock: cfg.Clock})
+	if vs != nil {
+		if err := eng.IngestAll(vs); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{name: name, dir: dir, eng: eng, sds: sds}, nil
+}
+
+// Name returns the dataset's registry name.
+func (d *Dataset) Name() string { return d.name }
+
+// Backed reports whether the dataset persists to a binary store directory.
+func (d *Dataset) Backed() bool { return d.sds != nil }
+
+// Dir returns the backing store directory ("" for in-memory datasets).
+func (d *Dataset) Dir() string { return d.dir }
+
+// Versions returns the dataset's version IDs in evolution order.
+func (d *Dataset) Versions() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.sds != nil {
+		return d.sds.IDs()
+	}
+	return d.eng.Versions().IDs()
+}
+
+// hasVersionLocked reports version existence without materializing; callers
+// hold either lock mode.
+func (d *Dataset) hasVersionLocked(id string) bool {
+	if _, ok := d.eng.Versions().Get(id); ok {
+		return true
+	}
+	return d.sds != nil && d.sds.Has(id)
+}
+
+// ensureVersionLocked makes the version visible to the engine, paging it in
+// from the backing store on first use. Ingested versions stay resident (the
+// engine's pair caches reference their graphs), so the store LRU bounds
+// reconstruction cost while serving memory grows with the distinct versions
+// actually requested. Callers hold the write lock.
+func (d *Dataset) ensureVersionLocked(id string) error {
+	if _, ok := d.eng.Versions().Get(id); ok {
+		return nil
+	}
+	if d.sds == nil || !d.sds.Has(id) {
+		return fmt.Errorf("%w: %q in dataset %q", ErrUnknownVersion, id, d.name)
+	}
+	g, err := d.sds.Graph(id)
+	if err != nil {
+		return err
+	}
+	return d.eng.Ingest(&rdf.Version{ID: id, Graph: g})
+}
+
+func pairKey(olderID, newerID string) string { return olderID + "\x00" + newerID }
+
+// ensureItems guarantees the pair's context and items are cached, electing
+// one builder per pair among concurrent requesters. On return (nil error)
+// the pair was cached at some instant; read paths re-check under their own
+// RLock and retry, so a concurrent invalidation costs a rebuild, never a
+// race.
+func (d *Dataset) ensureItems(olderID, newerID string) error {
+	d.mu.RLock()
+	cached := d.eng.HasItems(olderID, newerID)
+	d.mu.RUnlock()
+	if cached {
+		return nil
+	}
+	key := pairKey(olderID, newerID)
+	for {
+		fl, leader := d.flights.join(key)
+		if !leader {
+			if err := fl.wait(); err != nil {
+				return err
+			}
+			d.mu.RLock()
+			cached := d.eng.HasItems(olderID, newerID)
+			d.mu.RUnlock()
+			if cached {
+				return nil
+			}
+			continue // invalidated between the leader's build and now
+		}
+		err := d.buildItems(olderID, newerID)
+		d.flights.leave(key, fl, err)
+		return err
+	}
+}
+
+// buildItems is the singleflight leader's body: materialize both versions
+// and build the pair under the write lock.
+func (d *Dataset) buildItems(olderID, newerID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.eng.HasItems(olderID, newerID) {
+		return nil
+	}
+	if err := d.ensureVersionLocked(olderID); err != nil {
+		return err
+	}
+	if err := d.ensureVersionLocked(newerID); err != nil {
+		return err
+	}
+	_, err := d.eng.Items(olderID, newerID)
+	return err
+}
+
+// withItems runs fn under RLock with the pair guaranteed cached for the
+// duration of the call.
+func (d *Dataset) withItems(olderID, newerID string, fn func() error) error {
+	for {
+		if err := d.ensureItems(olderID, newerID); err != nil {
+			return err
+		}
+		d.mu.RLock()
+		if !d.eng.HasItems(olderID, newerID) {
+			d.mu.RUnlock()
+			continue
+		}
+		err := fn()
+		d.mu.RUnlock()
+		return err
+	}
+}
+
+// Recommend produces a recommendation list for one user. The profile is
+// caller-owned: concurrent requests must not share one mutable profile when
+// req.MarkSeen is set (the HTTP layer builds request-scoped profiles).
+func (d *Dataset) Recommend(u *profile.Profile, req core.Request) ([]recommend.Recommendation, error) {
+	var sel []recommend.Recommendation
+	err := d.withItems(req.OlderID, req.NewerID, func() error {
+		var err error
+		sel, err = d.eng.Recommend(u, req)
+		return err
+	})
+	return sel, err
+}
+
+// RecommendPrivate recommends for pool member idx through the anonymized
+// view of the pool (k-anonymity and/or differential privacy).
+func (d *Dataset) RecommendPrivate(pool []*profile.Profile, idx int, req core.Request, pol core.PrivacyPolicy) ([]recommend.Recommendation, error) {
+	var sel []recommend.Recommendation
+	err := d.withItems(req.OlderID, req.NewerID, func() error {
+		var err error
+		sel, err = d.eng.RecommendPrivate(pool, idx, req, pol)
+		return err
+	})
+	return sel, err
+}
+
+// RecommendGroup produces a recommendation list for a group.
+func (d *Dataset) RecommendGroup(g *profile.Group, req core.GroupRequest) ([]recommend.Recommendation, error) {
+	var sel []recommend.Recommendation
+	err := d.withItems(req.OlderID, req.NewerID, func() error {
+		var err error
+		sel, err = d.eng.RecommendGroup(g, req)
+		return err
+	})
+	return sel, err
+}
+
+// Notify scans the pool after a version pair and emits per-user
+// notifications whose relatedness crosses the threshold.
+func (d *Dataset) Notify(pool []*profile.Profile, olderID, newerID string, threshold float64, k int) ([]core.Notification, error) {
+	var out []core.Notification
+	err := d.withItems(olderID, newerID, func() error {
+		var err error
+		out, err = d.eng.Notify(pool, olderID, newerID, threshold, k)
+		return err
+	})
+	return out, err
+}
+
+// DeltaStats summarizes one pair's evolution for the delta endpoint.
+type DeltaStats struct {
+	Older, Newer   string
+	Added, Deleted int
+	HighLevel      []string
+}
+
+// Delta returns the pair's low-level delta sizes and rendered high-level
+// changes.
+func (d *Dataset) Delta(olderID, newerID string) (*DeltaStats, error) {
+	var out *DeltaStats
+	err := d.withItems(olderID, newerID, func() error {
+		ctx, err := d.eng.Context(olderID, newerID)
+		if err != nil {
+			return err
+		}
+		stats := &DeltaStats{
+			Older: olderID, Newer: newerID,
+			Added: len(ctx.Delta.Added), Deleted: len(ctx.Delta.Deleted),
+		}
+		for _, c := range delta.DetectHighLevel(ctx.Older.Graph, ctx.Newer.Graph) {
+			stats.HighLevel = append(stats.HighLevel, c.String())
+		}
+		out = stats
+		return nil
+	})
+	return out, err
+}
+
+// EntityScore is one entity's evolution-intensity value.
+type EntityScore struct {
+	Entity string
+	Score  float64
+}
+
+// MeasureEval is one measure's evaluation on a pair: identity plus the
+// top-scored entities.
+type MeasureEval struct {
+	ID, Name, Category string
+	Top                []EntityScore
+}
+
+// Measures returns every registered measure evaluated on the pair, with up
+// to k top entities each (k <= 0 omits entities).
+func (d *Dataset) Measures(olderID, newerID string, k int) ([]MeasureEval, error) {
+	var out []MeasureEval
+	err := d.withItems(olderID, newerID, func() error {
+		items, err := d.eng.Items(olderID, newerID)
+		if err != nil {
+			return err
+		}
+		out = make([]MeasureEval, 0, len(items))
+		for _, it := range items {
+			ev := MeasureEval{
+				ID:       it.ID(),
+				Name:     it.Measure.Name(),
+				Category: it.Category().String(),
+			}
+			if k > 0 {
+				for _, e := range it.Scores.Rank().TopK(k) {
+					if e.Score == 0 {
+						break
+					}
+					ev.Top = append(ev.Top, EntityScore{Entity: e.Term.Local(), Score: e.Score})
+				}
+			}
+			out = append(out, ev)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// CommitInfo reports what a commit did.
+type CommitInfo struct {
+	// ID is the committed version ID.
+	ID string
+	// Triples is the committed graph's size.
+	Triples int
+	// Kind is the persisted segment kind ("snapshot" or "delta"), or
+	// "memory" for in-memory datasets.
+	Kind string
+}
+
+// Commit parses an N-Triples body as the dataset's next version, persists
+// it through the binary store's append path when the dataset is
+// disk-backed, and registers it with the engine. Because commits are
+// append-only — duplicate IDs are rejected, never replaced — no cached
+// pair can reference the committed ID, so existing pair caches stay valid
+// untouched; a future replace/repair flow would invalidate selectively via
+// the engine's InvalidateVersion hook. The whole commit holds the write
+// lock: the body interns into the dataset's shared dictionary, which
+// concurrent readers are reading. Callers should hand in an in-memory
+// reader (the HTTP layer buffers the network body first) so the lock is
+// not held for a slow upload.
+func (d *Dataset) Commit(id string, r io.Reader) (*CommitInfo, error) {
+	if id == "" {
+		return nil, fmt.Errorf("service: version ID must not be empty")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hasVersionLocked(id) {
+		return nil, fmt.Errorf("%w: %q in dataset %q", ErrDuplicateVersion, id, d.name)
+	}
+	g := rdf.NewGraphWithDict(d.dictLocked())
+	if err := rdf.ReadNTriplesInto(g, r); err != nil {
+		return nil, fmt.Errorf("service: parsing version %q: %w", id, err)
+	}
+	v := &rdf.Version{ID: id, Graph: g}
+	info := &CommitInfo{ID: id, Triples: g.Len(), Kind: "memory"}
+	if d.sds != nil {
+		entry, err := d.sds.Append(v)
+		if err != nil {
+			return nil, err
+		}
+		info.Kind = entry.Kind
+	}
+	if err := d.eng.Ingest(v); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// dictLocked resolves the dictionary new versions intern into: the backing
+// store's, else the latest in-memory version's, else a fresh one.
+func (d *Dataset) dictLocked() *rdf.Dict {
+	if d.sds != nil {
+		return d.sds.Dict()
+	}
+	if latest := d.eng.Versions().Latest(); latest != nil {
+		return latest.Graph.Dict()
+	}
+	return rdf.NewDict()
+}
+
+// SetCacheCap resizes the backing store's graph LRU (minimum 1). It errors
+// on in-memory datasets, which hold every version materialized.
+func (d *Dataset) SetCacheCap(n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sds == nil {
+		return fmt.Errorf("service: dataset %q is in-memory and has no store cache", d.name)
+	}
+	return d.sds.SetCacheCap(n)
+}
+
+// ContextBuilds returns how many measure contexts the dataset's engine
+// actually constructed; under singleflight this equals the number of
+// distinct pairs requested, however many clients raced.
+func (d *Dataset) ContextBuilds() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.ContextBuilds()
+}
+
+// Info is a dataset inspection snapshot.
+type Info struct {
+	// Name is the registry name.
+	Name string
+	// Backed reports disk backing; Dir, Policy and SnapshotEvery describe
+	// it when set.
+	Backed        bool
+	Dir           string
+	Policy        string
+	SnapshotEvery int
+	// Versions lists version IDs in evolution order.
+	Versions []string
+	// Terms is the shared dictionary's entry count.
+	Terms int
+	// StoreCacheCap/Hits/Misses report the store LRU (backed datasets).
+	StoreCacheCap    int
+	StoreCacheHits   int
+	StoreCacheMisses int
+	// ContextBuilds counts measure contexts actually constructed;
+	// CachedPairs lists the pair keys currently cached.
+	ContextBuilds int
+	CachedPairs   []string
+	// ProvenanceRecords counts the provenance log's entries.
+	ProvenanceRecords int
+}
+
+// Info returns an inspection snapshot of the dataset.
+func (d *Dataset) Info() Info {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	info := Info{
+		Name:              d.name,
+		Backed:            d.sds != nil,
+		Dir:               d.dir,
+		ContextBuilds:     d.eng.ContextBuilds(),
+		CachedPairs:       d.eng.CachedPairs(),
+		ProvenanceRecords: d.eng.Provenance().Len(),
+	}
+	if d.sds != nil {
+		man := d.sds.Manifest()
+		info.Policy = man.Policy
+		info.SnapshotEvery = man.SnapshotEvery
+		info.Versions = d.sds.IDs()
+		info.Terms = d.sds.Dict().Len() - 1
+		info.StoreCacheCap = d.sds.CacheCap()
+		info.StoreCacheHits, info.StoreCacheMisses = d.sds.CacheStats()
+	} else {
+		info.Versions = d.eng.Versions().IDs()
+		if latest := d.eng.Versions().Latest(); latest != nil {
+			info.Terms = latest.Graph.Dict().Len() - 1
+		}
+	}
+	sort.Strings(info.CachedPairs)
+	return info
+}

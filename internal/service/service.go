@@ -1,0 +1,167 @@
+// Package service is the concurrent serving layer over the processing model:
+// a long-lived registry of named datasets, each wrapping one core.Engine
+// behind a reader/writer lock with per-pair singleflight, so that many
+// clients can ask for recommendations against an evolving knowledge base at
+// once — the paper's "millions of users" scenario (ROADMAP north star) —
+// while commits append new versions at runtime.
+//
+// The concurrency model per dataset is:
+//
+//   - The expensive step (building a pair's measures.Context and items) runs
+//     under the dataset's write lock, and a per-pair singleflight elects one
+//     goroutine to do it; every concurrent request for the same pair waits
+//     for that one build instead of racing the engine caches.
+//   - Once a pair is cached (core.Engine.HasItems), recommendation,
+//     notification and inspection requests run concurrently under the read
+//     lock: they only read the caches and append to the internally
+//     synchronized provenance store.
+//   - Commits (new versions) and cache-capacity changes take the write lock;
+//     a commit persists through the binary store's append path when the
+//     dataset is disk-backed and invalidates only the pairs that involve the
+//     committed version ID.
+//
+// Datasets come in two flavors: disk-backed (opened from an internal/store
+// directory, versions materialize lazily through the store's LRU) and
+// in-memory (registered from a version store or created empty and fed
+// entirely through Commit).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"evorec/internal/measures"
+	"evorec/internal/rdf"
+	"evorec/internal/store"
+)
+
+// Sentinel errors the HTTP layer maps to statuses.
+var (
+	// ErrUnknownDataset reports a name with no registered dataset.
+	ErrUnknownDataset = errors.New("service: unknown dataset")
+	// ErrUnknownVersion reports a version ID absent from a dataset.
+	ErrUnknownVersion = errors.New("service: unknown version")
+	// ErrDuplicateVersion reports a commit reusing an existing version ID.
+	ErrDuplicateVersion = errors.New("service: version already exists")
+	// ErrDuplicateDataset reports a registration reusing a dataset name.
+	ErrDuplicateDataset = errors.New("service: dataset already registered")
+)
+
+// Config parameterizes a Service. The zero value is usable.
+type Config struct {
+	// Registry supplies the measure set every dataset's engine evaluates;
+	// nil means measures.NewRegistry(). It must not be mutated once the
+	// service is serving.
+	Registry *measures.Registry
+	// Agent names the service in provenance records; empty means "evorec".
+	Agent string
+	// Clock stamps provenance records; nil means time.Now.
+	Clock func() time.Time
+	// CacheCap overrides the store LRU capacity of disk-backed datasets
+	// (minimum 1); zero keeps store.DefaultCacheCap.
+	CacheCap int
+}
+
+// Service is the multi-dataset registry. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// New returns an empty service.
+func New(cfg Config) *Service {
+	return &Service{cfg: cfg, datasets: make(map[string]*Dataset)}
+}
+
+// register validates the name and cache capacity and installs the dataset.
+func (s *Service) register(name string, build func() (*Dataset, error)) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: dataset name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	d, err := build()
+	if err != nil {
+		return nil, err
+	}
+	s.datasets[name] = d
+	return d, nil
+}
+
+// Open registers a disk-backed dataset from a binary store directory.
+// Versions materialize lazily on first request; commits append to the
+// directory.
+func (s *Service) Open(name, dir string) (*Dataset, error) {
+	return s.register(name, func() (*Dataset, error) {
+		sds, err := store.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.CacheCap != 0 {
+			if err := sds.SetCacheCap(s.cfg.CacheCap); err != nil {
+				return nil, err
+			}
+		}
+		return newDataset(name, dir, sds, nil, s.cfg)
+	})
+}
+
+// Create registers an empty in-memory dataset, to be fed through Commit.
+func (s *Service) Create(name string) (*Dataset, error) {
+	return s.register(name, func() (*Dataset, error) {
+		return newDataset(name, "", nil, nil, s.cfg)
+	})
+}
+
+// Add registers an in-memory dataset over an existing version chain.
+func (s *Service) Add(name string, vs *rdf.VersionStore) (*Dataset, error) {
+	return s.register(name, func() (*Dataset, error) {
+		return newDataset(name, "", nil, vs, s.cfg)
+	})
+}
+
+// Get returns the named dataset.
+func (s *Service) Get(name string) (*Dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return d, nil
+}
+
+// Names returns the registered dataset names, sorted.
+func (s *Service) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infos returns every dataset's Info, ordered by name.
+func (s *Service) Infos() []Info {
+	names := s.Names()
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		d, err := s.Get(name)
+		if err != nil {
+			continue // racing a concurrent deregistration; none exists yet
+		}
+		out = append(out, d.Info())
+	}
+	return out
+}

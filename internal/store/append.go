@@ -1,0 +1,97 @@
+package store
+
+import (
+	"fmt"
+
+	"evorec/internal/delta"
+	"evorec/internal/rdf"
+)
+
+// Append persists v as the next version of the stored chain and registers it
+// in the open handle, so a long-lived service can commit versions at runtime
+// without rewriting the store. The segment kind follows the manifest's
+// recorded policy and snapshot cadence: under DeltaChain the new version is
+// encoded as a delta over the current tail (materialized through the LRU,
+// where a live service usually has it cached), under Hybrid a snapshot lands
+// every SnapshotEvery versions, and under FullSnapshots every commit is a
+// snapshot.
+//
+// The graph is re-encoded against the dataset dictionary (a no-op when it
+// already shares it — the normal case for graphs parsed via the dataset's
+// Dict); because the dictionary is append-only, the dict segment is
+// rewritten to pick up newly interned terms without disturbing existing IDs.
+// The manifest is written last: a crash mid-append can leave an orphaned
+// segment file behind, but never a manifest pointing at missing or
+// half-written segments.
+func (ds *Dataset) Append(v *rdf.Version) (*Entry, error) {
+	if v == nil || v.ID == "" {
+		return nil, fmt.Errorf("store: version must have a non-empty ID")
+	}
+	if v.Graph == nil {
+		return nil, fmt.Errorf("store: version %q must have a graph", v.ID)
+	}
+	if _, dup := ds.idx[v.ID]; dup {
+		return nil, fmt.Errorf("store: version %q already stored", v.ID)
+	}
+	if !validFileName(v.ID + ".x") {
+		return nil, fmt.Errorf("store: version ID %q cannot name a segment file", v.ID)
+	}
+	pol, err := ParsePolicy(ds.man.Policy)
+	if err != nil {
+		return nil, err
+	}
+	every := ds.man.SnapshotEvery
+	if every <= 0 {
+		every = 4
+	}
+	i := len(ds.man.Entries)
+	cur := encodeGraph(ds.dict, v.Graph)
+	snapshot := i == 0 || pol == FullSnapshots || (pol == Hybrid && i%every == 0)
+	e := Entry{ID: v.ID}
+	var buf []byte
+	if snapshot {
+		e.Kind = kindNameSnapshot
+		e.File = v.ID + ".snap"
+		e.Triples = len(cur)
+		buf = appendSnapshot(buf, cur)
+	} else {
+		prev, err := ds.GraphAt(i - 1)
+		if err != nil {
+			return nil, fmt.Errorf("store: materializing tail for append: %w", err)
+		}
+		added, deleted := delta.DiffSortedIDs(encodeGraph(ds.dict, prev), cur)
+		e.Kind = kindNameDelta
+		e.File = v.ID + ".delta"
+		e.Added = len(added)
+		e.Deleted = len(deleted)
+		buf = appendDelta(buf, added, deleted)
+	}
+	kind := kindSnapshot
+	if !snapshot {
+		kind = kindDelta
+	}
+	size, err := writeSegment(joinPath(ds.dir, e.File), kind, buf)
+	if err != nil {
+		return nil, err
+	}
+	e.Bytes = size
+	dictBytes, err := writeSegment(joinPath(ds.dir, ds.man.Dict.File), kindDict, appendDict(nil, ds.dict))
+	if err != nil {
+		return nil, err
+	}
+	man := *ds.man
+	man.Entries = append(append([]Entry(nil), ds.man.Entries...), e)
+	man.Terms = ds.dict.Len() - 1
+	man.Dict.Bytes = dictBytes
+	if err := writeManifest(ds.dir, &man); err != nil {
+		return nil, err
+	}
+	ds.man = &man
+	ds.idx[v.ID] = i
+	if v.Graph.Dict() == ds.dict {
+		// The committed graph is already in dataset encoding; cache it so an
+		// immediately following delta append or pair analysis is free.
+		ds.lru.put(i, v.Graph)
+	}
+	return &man.Entries[i], nil
+}

@@ -43,7 +43,13 @@ func Open(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	if dict.Len()-1 != man.Terms {
+	// The dictionary may hold MORE terms than the manifest records: Append
+	// renames the rewritten dict segment into place before the manifest, so
+	// a crash between the two leaves a superset dictionary under the old
+	// manifest — harmless, since IDs are append-only and every decoder
+	// bounds-checks against the dictionary it was handed. Fewer terms than
+	// recorded means real corruption.
+	if dict.Len()-1 < man.Terms {
 		return nil, fmt.Errorf("store: dictionary has %d terms, manifest says %d",
 			dict.Len()-1, man.Terms)
 	}
@@ -63,14 +69,21 @@ func Open(dir string) (*Dataset, error) {
 	}, nil
 }
 
-// SetCacheCap resizes the graph LRU (minimum 1), evicting down if needed.
-func (ds *Dataset) SetCacheCap(n int) {
+// SetCacheCap resizes the graph LRU, evicting down if needed. Capacities
+// below 1 are rejected (a capacity of 0 would thrash every reconstruction),
+// so callers wiring user input through — flags, HTTP parameters — surface a
+// clear error instead of a silently clamped value.
+func (ds *Dataset) SetCacheCap(n int) error {
 	if n < 1 {
-		n = 1
+		return fmt.Errorf("store: cache capacity must be >= 1, got %d", n)
 	}
 	ds.lru.cap = n
 	ds.lru.evict()
+	return nil
 }
+
+// CacheCap returns the graph LRU's current capacity.
+func (ds *Dataset) CacheCap() int { return ds.lru.cap }
 
 // Len returns the number of stored versions.
 func (ds *Dataset) Len() int { return len(ds.man.Entries) }
@@ -94,6 +107,13 @@ func (ds *Dataset) Manifest() *Manifest { return ds.man }
 
 // CacheStats reports the LRU's hit/miss counters over GraphAt requests.
 func (ds *Dataset) CacheStats() (hits, misses int) { return ds.lru.hits, ds.lru.misses }
+
+// Has reports whether the store holds a version with the given ID, without
+// materializing anything.
+func (ds *Dataset) Has(id string) bool {
+	_, ok := ds.idx[id]
+	return ok
+}
 
 // Graph materializes the version with the given ID.
 func (ds *Dataset) Graph(id string) (*rdf.Graph, error) {

@@ -67,7 +67,9 @@ func segmentError(file, msg string) error {
 }
 
 // writeSegment frames payload and writes it to path, returning the file
-// size.
+// size. The write goes through a temp file plus rename, so a crash
+// mid-write can never leave a torn segment under the final name — Append
+// rewrites the live dictionary segment in place and relies on this.
 func writeSegment(path string, kind byte, payload []byte) (int64, error) {
 	if uint64(len(payload)) > math.MaxUint32 {
 		return 0, fmt.Errorf("store: segment payload %d bytes exceeds the 4 GiB format limit", len(payload))
@@ -78,10 +80,24 @@ func writeSegment(path string, kind byte, payload []byte) (int64, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	if err := writeFileAtomic(path, buf); err != nil {
 		return 0, fmt.Errorf("store: writing segment: %w", err)
 	}
 	return int64(len(buf)), nil
+}
+
+// writeFileAtomic writes data to a sibling temp file and renames it over
+// path, so readers see either the old contents or the new, never a tear.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // readSegment reads and unframes the segment at dir/file, validating magic,

@@ -66,6 +66,21 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy inverts Policy.String; Append uses it to resume a stored
+// chain's policy from its manifest.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "full_snapshots":
+		return FullSnapshots, nil
+	case "delta_chain":
+		return DeltaChain, nil
+	case "hybrid":
+		return Hybrid, nil
+	default:
+		return 0, fmt.Errorf("store: unknown policy %q", name)
+	}
+}
+
 // Options parameterize Save.
 type Options struct {
 	// Policy selects the snapshot/delta mix.
@@ -105,6 +120,9 @@ type Manifest struct {
 	Format string `json:"format"`
 	// Policy records the archiving policy used.
 	Policy string `json:"policy"`
+	// SnapshotEvery records the hybrid policy's snapshot period, so appends
+	// keep the original cadence. Zero (older manifests) means the default.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
 	// Terms is the dictionary entry count (excluding the wildcard slot).
 	Terms int `json:"terms"`
 	// Dict locates the string-table segment.
@@ -150,7 +168,7 @@ func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
 	dict := vs.At(0).Graph.Dict()
-	man := &Manifest{Format: FormatV1, Policy: opt.Policy.String()}
+	man := &Manifest{Format: FormatV1, Policy: opt.Policy.String(), SnapshotEvery: every}
 	ids := vs.IDs()
 	var prev []rdf.IDTriple
 	var buf []byte
@@ -195,14 +213,25 @@ func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 	}
 	man.Terms = dict.Len() - 1
 	man.Dict = Segment{File: dictFileName, Bytes: dictBytes}
-	data, err := json.MarshalIndent(man, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("store: encoding manifest: %w", err)
-	}
-	if err := os.WriteFile(joinPath(dir, manifestName), data, 0o644); err != nil {
-		return nil, fmt.Errorf("store: writing manifest: %w", err)
+	if err := writeManifest(dir, man); err != nil {
+		return nil, err
 	}
 	return man, nil
+}
+
+// writeManifest serializes the manifest as dir/manifest.json. It is the
+// commit point of both Save and Append: segments are written first, so a
+// failure before the manifest lands leaves the previous manifest (or no
+// store) intact, never a manifest referencing missing segments.
+func writeManifest(dir string, man *Manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	if err := writeFileAtomic(joinPath(dir, manifestName), data); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	return nil
 }
 
 // encodeGraph returns g's triples as a sorted ID-triple slice encoded

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -160,7 +161,9 @@ func TestStoreLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds.SetCacheCap(1)
+	if err := ds.SetCacheCap(1); err != nil {
+		t.Fatal(err)
+	}
 	g0, err := ds.GraphAt(0)
 	if err != nil {
 		t.Fatal(err)
@@ -390,5 +393,180 @@ func TestInspect(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("v1.snap missing from inspection")
+	}
+}
+
+func TestSetCacheCapValidates(t *testing.T) {
+	vs := testChain(t, 2)
+	dir := t.TempDir()
+	if _, err := store.Save(dir, vs, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, -3} {
+		if err := ds.SetCacheCap(bad); err == nil {
+			t.Fatalf("SetCacheCap(%d) must be rejected", bad)
+		}
+	}
+	if got := ds.CacheCap(); got != store.DefaultCacheCap {
+		t.Fatalf("rejected caps must not change the capacity: got %d, want %d",
+			got, store.DefaultCacheCap)
+	}
+	if err := ds.SetCacheCap(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.CacheCap(); got != 2 {
+		t.Fatalf("CacheCap = %d, want 2", got)
+	}
+}
+
+// TestStoreAppend commits versions onto an existing store at runtime and
+// verifies the appended chain round-trips bit-identically under each policy,
+// including a version that interns brand-new terms (forcing the dictionary
+// segment rewrite).
+func TestStoreAppend(t *testing.T) {
+	vs := testChain(t, 5) // v1..v6
+	full := vs.Len()
+	for _, pol := range []store.Policy{store.FullSnapshots, store.DeltaChain, store.Hybrid} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			// Seed the store with the first three versions only.
+			seed := rdf.NewVersionStore()
+			for i := 0; i < 3; i++ {
+				if err := seed.Add(vs.At(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := store.Save(dir, seed, store.Options{Policy: pol, SnapshotEvery: 2}); err != nil {
+				t.Fatal(err)
+			}
+			ds, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Commit the remaining versions one by one, re-encoded into the
+			// dataset dictionary (they come from a foreign dict: the
+			// generator's), plus one extra hand-built version with new terms.
+			for i := 3; i < full; i++ {
+				v := vs.At(i)
+				if _, err := ds.Append(v); err != nil {
+					t.Fatalf("append %s: %v", v.ID, err)
+				}
+			}
+			last, err := ds.GraphAt(full - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			extra := last.Clone()
+			extra.Add(rdf.T(rdf.ResourceIRI("appended-subject"), rdf.RDFSLabel,
+				rdf.NewLiteral("appended at runtime")))
+			entry, err := ds.Append(&rdf.Version{ID: "v-extra", Graph: extra})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if entry.ID != "v-extra" {
+				t.Fatalf("entry ID = %q", entry.ID)
+			}
+			if pol == store.DeltaChain && entry.Kind != "delta" {
+				t.Fatalf("delta_chain append produced kind %q", entry.Kind)
+			}
+			if pol == store.FullSnapshots && entry.Kind != "snapshot" {
+				t.Fatalf("full_snapshots append produced kind %q", entry.Kind)
+			}
+			// Duplicate and invalid IDs are rejected.
+			if _, err := ds.Append(&rdf.Version{ID: "v-extra", Graph: extra}); err == nil {
+				t.Fatal("duplicate version ID must be rejected")
+			}
+			if _, err := ds.Append(&rdf.Version{ID: "../evil", Graph: extra}); err == nil {
+				t.Fatal("path-escaping version ID must be rejected")
+			}
+			// A fresh Open sees the full appended chain, identical contents.
+			back, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Len() != full+1 {
+				t.Fatalf("reopened store has %d versions, want %d", back.Len(), full+1)
+			}
+			want := rdf.NewVersionStore()
+			for i := 0; i < full; i++ {
+				if err := want.Add(vs.At(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := want.Add(&rdf.Version{ID: "v-extra", Graph: extra}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.VersionStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameVersions(t, want, got)
+			// The hybrid cadence persists across append: with SnapshotEvery=2
+			// every even index is a snapshot.
+			if pol == store.Hybrid {
+				for i, e := range back.Manifest().Entries {
+					wantKind := "delta"
+					if i%2 == 0 {
+						wantKind = "snapshot"
+					}
+					if e.Kind != wantKind {
+						t.Fatalf("hybrid entry %d kind = %q, want %q", i, e.Kind, wantKind)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreOpenToleratesSupersetDict simulates the append crash window:
+// the rewritten dictionary segment has landed (append-only superset) but
+// the manifest rename did not. Open must accept the extra terms — IDs are
+// stable and every decoder bounds-checks — while still rejecting a
+// dictionary with FEWER terms than recorded.
+func TestStoreOpenToleratesSupersetDict(t *testing.T) {
+	vs := testChain(t, 2)
+	dir := t.TempDir()
+	man, err := store.Save(dir, vs, store.Options{Policy: store.DeltaChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manifest claims one term less than the dictionary holds: the state a
+	// crash between the dict and manifest renames leaves behind.
+	fewer := strings.Replace(string(data),
+		fmt.Sprintf(`"terms": %d`, man.Terms),
+		fmt.Sprintf(`"terms": %d`, man.Terms-1), 1)
+	if fewer == string(data) {
+		t.Fatal("fixture: terms count not found in manifest")
+	}
+	if err := os.WriteFile(manPath, []byte(fewer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("superset dictionary must be tolerated, got %v", err)
+	}
+	back, err := ds.VersionStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVersions(t, vs, back)
+	// The inverse — dictionary missing recorded terms — is corruption.
+	more := strings.Replace(string(data),
+		fmt.Sprintf(`"terms": %d`, man.Terms),
+		fmt.Sprintf(`"terms": %d`, man.Terms+1), 1)
+	if err := os.WriteFile(manPath, []byte(more), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); err == nil {
+		t.Fatal("dictionary with fewer terms than recorded must be rejected")
 	}
 }
