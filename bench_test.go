@@ -346,6 +346,7 @@ func BenchmarkEnginePipeline(b *testing.B) {
 }
 
 func BenchmarkE11ChangeTrends(b *testing.B)   { benchExperiment(b, "E11") }
+func BenchmarkE12FeedLocality(b *testing.B)   { benchExperiment(b, "E12") }
 func BenchmarkA3ArchivePolicies(b *testing.B) { benchExperiment(b, "A3") }
 
 func BenchmarkTrendAnalyze(b *testing.B) {
@@ -513,6 +514,68 @@ func BenchmarkNotify(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Notify(pool, "v1", "v2", 0.1, 3); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeedFanout measures the commit-triggered fan-out at 10k and
+// 100k standing subscribers with a varying affected fraction: subscribers
+// in the "affected" share register an interest the pair's items actually
+// score, the rest register a term outside every item vector, so only the
+// affected share is matched by the inverted index and scored. The headline
+// is the scaling: per-commit cost tracks the affected count, not the pool
+// size — at a fixed pool, 1% affected must be ≥ 10× faster than 100%.
+func BenchmarkFeedFanout(b *testing.B) {
+	older, newer := benchVersions(b)
+	ctx := measures.NewContext(older, newer)
+	items := recommend.BuildItems(ctx, measures.NewRegistry())
+	var hot evorec.Term
+	hotW := 0.0
+	for _, it := range items {
+		for tm, w := range it.Vector {
+			if w > hotW {
+				hot, hotW = tm, w
+			}
+		}
+	}
+	if hotW == 0 {
+		b.Fatal("no scored entity in items")
+	}
+	cold := evorec.SchemaIRI("FanoutColdRegion")
+	for _, subs := range []int{10_000, 100_000} {
+		for _, frac := range []float64{0.01, 1.0} {
+			name := fmt.Sprintf("%dk/affected%d%%", subs/1000, int(frac*100))
+			b.Run(name, func(b *testing.B) {
+				// MaxLog stays small: the benchmark measures fan-out, not
+				// unbounded log growth across iterations.
+				f, err := evorec.OpenFeed(evorec.FeedConfig{Threshold: 0.01, K: 1, MaxLog: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				affected := int(float64(subs) * frac)
+				for i := 0; i < subs; i++ {
+					u := evorec.NewProfile(fmt.Sprintf("u%06d", i))
+					if i < affected {
+						u.SetInterest(hot, 1)
+					} else {
+						u.SetInterest(cold, 1)
+					}
+					if _, _, err := f.Subscribe(u); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := f.FanOut("v1", fmt.Sprintf("n%08d", i), items)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Affected != affected {
+						b.Fatalf("affected = %d, want %d", st.Affected, affected)
+					}
+				}
+			})
 		}
 	}
 }

@@ -185,3 +185,19 @@ func TestCmdRecommendWithProfileFile(t *testing.T) {
 		t.Fatal("missing profile file must fail")
 	}
 }
+
+func TestCmdServeFlagValidation(t *testing.T) {
+	// Each case must fail fast — before any listener binds.
+	cases := [][]string{
+		{},                                   // no datasets at all
+		{"-cache-cap", "0", "-mem", "kb"},    // invalid LRU capacity
+		{"-feed-workers", "0", "-mem", "kb"}, // invalid worker pool
+		{"-dataset", "noequals", "-mem", "kb"},
+		{"-dataset", "kb=/nonexistent-store-dir"},
+	}
+	for _, args := range cases {
+		if err := cmdServe(args); err == nil {
+			t.Fatalf("cmdServe(%v) succeeded, want error", args)
+		}
+	}
+}

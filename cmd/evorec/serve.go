@@ -1,10 +1,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"evorec"
 )
@@ -43,12 +49,19 @@ func validateCacheCap(n int) error {
 
 // cmdServe runs the HTTP evolution service: a registry of named datasets
 // (binary store directories and/or empty in-memory datasets) behind the
-// JSON API of internal/server.
+// JSON API of internal/server, with subscription feeds persisted under
+// -feed-dir. SIGINT/SIGTERM shut down gracefully: the listener stops,
+// in-flight requests drain, and every dataset's feed logs are flushed.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	cacheCap := fs.Int("cache-cap", evorec.StoreDefaultCacheCap,
 		"store LRU capacity per disk-backed dataset (minimum 1)")
+	feedDir := fs.String("feed-dir", "",
+		"directory for per-dataset subscriber registries and feed logs (empty = in-memory feeds)")
+	feedWorkers := fs.Int("feed-workers", evorec.FeedDefaultWorkers,
+		"fan-out worker pool size per dataset (minimum 1)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	var datasets, mems repeatedFlag
 	fs.Var(&datasets, "dataset", "name=dir of a binary store to serve (repeatable)")
 	fs.Var(&mems, "mem", "name of an empty in-memory dataset to create (repeatable)")
@@ -58,10 +71,15 @@ func cmdServe(args []string) error {
 	if err := validateCacheCap(*cacheCap); err != nil {
 		return err
 	}
-	if len(datasets) == 0 && len(mems) == 0 {
-		return fmt.Errorf("usage: evorec serve [-addr a] [-cache-cap n] -dataset name=dir [-mem name]")
+	if *feedWorkers < 1 {
+		return fmt.Errorf("-feed-workers must be >= 1, got %d", *feedWorkers)
 	}
-	svc := evorec.NewService(evorec.ServiceConfig{CacheCap: *cacheCap})
+	if len(datasets) == 0 && len(mems) == 0 {
+		return fmt.Errorf("usage: evorec serve [-addr a] [-cache-cap n] [-feed-dir d] -dataset name=dir [-mem name]")
+	}
+	svc := evorec.NewService(evorec.ServiceConfig{
+		CacheCap: *cacheCap, FeedDir: *feedDir, FeedWorkers: *feedWorkers,
+	})
 	for _, spec := range datasets {
 		name, dir, found := strings.Cut(spec, "=")
 		if !found || name == "" || dir == "" {
@@ -71,7 +89,8 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("serving dataset %q from %s (%d versions)\n", name, dir, len(d.Versions()))
+		fmt.Printf("serving dataset %q from %s (%d versions, %d subscribers)\n",
+			name, dir, len(d.Versions()), d.Feed().Len())
 	}
 	for _, name := range mems {
 		if _, err := svc.Create(name); err != nil {
@@ -79,6 +98,34 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("serving empty in-memory dataset %q\n", name)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: evorec.NewHTTPServer(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("evorec service listening on http://%s/v1/datasets\n", *addr)
-	return http.ListenAndServe(*addr, evorec.NewHTTPServer(svc))
+	select {
+	case err := <-errc:
+		// The listener failed on its own (port taken, ...); nothing is
+		// serving, so there is nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills hard
+	fmt.Println("evorec: shutting down, draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Flush what we can even when the drain timed out.
+		if ferr := svc.FlushFeeds(); ferr != nil {
+			return errors.Join(err, ferr)
+		}
+		return err
+	}
+	if err := svc.FlushFeeds(); err != nil {
+		return err
+	}
+	fmt.Println("evorec: feed logs flushed, bye")
+	return nil
 }

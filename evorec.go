@@ -35,6 +35,7 @@ import (
 	"evorec/internal/archive"
 	"evorec/internal/core"
 	"evorec/internal/delta"
+	"evorec/internal/feed"
 	"evorec/internal/graphx"
 	"evorec/internal/measures"
 	"evorec/internal/profile"
@@ -716,3 +717,42 @@ type HTTPServer = server.Server
 
 // NewHTTPServer builds the HTTP API over the service.
 func NewHTTPServer(svc *Service) *HTTPServer { return server.New(svc) }
+
+// ---------------------------------------------------------------------------
+// Subscriptions & feed
+
+// Feed is one dataset's subscription subsystem: a persistent subscriber
+// registry behind an inverted interest index (keyed on dictionary TermIDs),
+// commit-triggered fan-out that scores only index-matched subscribers, and
+// durable per-user feed logs with monotonic cursors (see DESIGN.md §8).
+type Feed = feed.Feed
+
+// FeedConfig parameterizes a Feed; the zero value is a usable in-memory
+// feed.
+type FeedConfig = feed.Config
+
+// FeedEntry is one feed log entry: a notification under its cursor.
+type FeedEntry = feed.Entry
+
+// FeedStats reports what one commit-triggered fan-out did.
+type FeedStats = feed.Stats
+
+// SubscriberInfo is one registered subscriber.
+type SubscriberInfo = feed.SubscriberInfo
+
+// Feed defaults (zero FeedConfig values resolve to these).
+const (
+	FeedDefaultWorkers   = feed.DefaultWorkers
+	FeedDefaultMaxLog    = feed.DefaultMaxLog
+	FeedDefaultThreshold = feed.DefaultThreshold
+	FeedDefaultK         = feed.DefaultK
+)
+
+// ErrUnknownSubscriber reports a subscriber ID with no registration and no
+// retained feed log.
+var ErrUnknownSubscriber = feed.ErrUnknownSubscriber
+
+// OpenFeed builds a feed, loading persisted state when cfg.Dir holds a
+// manifest. Service datasets open their feeds automatically; OpenFeed is
+// the standalone entry point (benchmarks, offline tooling).
+func OpenFeed(cfg FeedConfig) (*Feed, error) { return feed.Open(cfg) }

@@ -28,6 +28,44 @@ type Notification struct {
 	Reason string
 }
 
+// ItemsByID indexes items by measure ID. Notify and the feed fan-out build
+// it once per pair instead of re-scanning the item slice for every ranked
+// measure of every user.
+func ItemsByID(items []recommend.Item) map[string]recommend.Item {
+	byID := make(map[string]recommend.Item, len(items))
+	for _, it := range items {
+		byID[it.ID()] = it
+	}
+	return byID
+}
+
+// UserNotifications emits one user's notifications for a version pair: the
+// user's top-k measures whose relatedness crosses the threshold, in
+// descending relatedness order. It is the per-user body of Notify, exported
+// so the feed fan-out (internal/feed) scores affected subscribers through
+// the exact same path — the parity tests compare the two outputs verbatim.
+func UserNotifications(u *profile.Profile, items []recommend.Item, byID map[string]recommend.Item, olderID, newerID string, threshold float64, k int) []Notification {
+	var out []Notification
+	for _, r := range recommend.TopK(u, items, k) {
+		if r.Score < threshold || r.Score == 0 {
+			continue
+		}
+		it, ok := byID[r.MeasureID]
+		if !ok {
+			continue
+		}
+		out = append(out, Notification{
+			UserID:      u.ID,
+			OlderID:     olderID,
+			NewerID:     newerID,
+			MeasureID:   r.MeasureID,
+			Relatedness: r.Score,
+			Reason:      recommend.ExplainText(u, it, 1),
+		})
+	}
+	return out
+}
+
 // Notify scans the pool after a version pair and emits, per user, the top
 // measures whose relatedness crosses the threshold — at most k per user.
 // Users whose interests are untouched by the evolution stay silent; the
@@ -44,26 +82,10 @@ func (e *Engine) Notify(pool []*profile.Profile, olderID, newerID string, thresh
 	if err != nil {
 		return nil, err
 	}
+	byID := ItemsByID(items)
 	var out []Notification
 	for _, u := range pool {
-		top := recommend.TopK(u, items, k)
-		for _, r := range top {
-			if r.Score < threshold || r.Score == 0 {
-				continue
-			}
-			it, ok := findItem(items, r.MeasureID)
-			if !ok {
-				continue
-			}
-			out = append(out, Notification{
-				UserID:      u.ID,
-				OlderID:     olderID,
-				NewerID:     newerID,
-				MeasureID:   r.MeasureID,
-				Relatedness: r.Score,
-				Reason:      recommend.ExplainText(u, it, 1),
-			})
-		}
+		out = append(out, UserNotifications(u, items, byID, olderID, newerID, threshold, k)...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].UserID != out[j].UserID {

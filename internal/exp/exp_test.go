@@ -351,3 +351,18 @@ func TestE11TrendCensus(t *testing.T) {
 		t.Fatal("nothing tracked")
 	}
 }
+
+// E12's assertions live inside the experiment (zero notifications outside
+// the planted change region, affected ⊆ hot subscribers); the test checks
+// it passes at test scale and reports a strict pool minority as scored.
+func TestE12FeedLocality(t *testing.T) {
+	out, err := E12FeedLocality(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"affected", "untouched-region notifications", "0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E12 table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,7 +7,7 @@ import (
 
 // Experiment pairs an experiment ID with its runner.
 type Experiment struct {
-	// ID is the experiment identifier (E1..E10, A1, A2).
+	// ID is the experiment identifier (E1..E12, A1..A4).
 	ID string
 	// Title summarizes what the experiment shows.
 	Title string
@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"E9", "Scalability (Figure 5)", E9Scalability},
 		{"E10", "Provenance overhead (Table 6)", E10ProvenanceOverhead},
 		{"E11", "Change trends over the version chain (Table 7)", E11ChangeTrends},
+		{"E12", "Feed fan-out locality (Table 8)", E12FeedLocality},
 		{"A1", "Ablation: betweenness sampling", A1BetweennessSampling},
 		{"A2", "Ablation: index variants", A2IndexVariants},
 		{"A3", "Ablation: archiving policies", A3ArchivePolicies},

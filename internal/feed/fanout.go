@@ -1,0 +1,139 @@
+package feed
+
+import (
+	"sort"
+	"sync"
+
+	"evorec/internal/core"
+	"evorec/internal/rdf"
+	"evorec/internal/recommend"
+)
+
+// Stats reports what one fan-out did.
+type Stats struct {
+	// OlderID and NewerID name the version pair.
+	OlderID, NewerID string
+	// Subscribers is the registry size at fan-out time.
+	Subscribers int
+	// Affected is how many subscribers the inverted index matched — the
+	// only ones scored.
+	Affected int
+	// Notified is how many notifications were appended across feed logs.
+	Notified int
+	// Skipped reports that the pair was already fanned out (the ledger
+	// makes fan-out idempotent per pair, so a pair invalidated and rebuilt
+	// never re-notifies).
+	Skipped bool
+}
+
+// FanOut delivers one committed version pair to the standing subscriber
+// population: it intersects the evaluated items' entity terms with the
+// inverted interest index, scores only the matched subscribers (sharded
+// across the bounded worker pool, through the same bit-deterministic
+// relatedness path Engine.Notify uses), and appends the resulting
+// notifications to the affected users' feed logs under fresh cursors.
+//
+// The whole fan-out holds the write lock, so it sees — and delivers to — a
+// consistent registry snapshot: a subscriber present when FanOut starts
+// gets its full batch exactly once, however much churn races the commit.
+// Cost scales with the affected set, not the pool.
+func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{OlderID: olderID, NewerID: newerID, Subscribers: len(f.subs)}
+	key := pairKey(olderID, newerID)
+	if _, dup := f.done[key]; dup {
+		st.Skipped = true
+		return st, nil
+	}
+	affected := f.affectedLocked(items)
+	st.Affected = len(affected)
+	notes := f.scoreLocked(affected, items, olderID, newerID)
+	changed := make([]string, 0, len(affected))
+	for i, id := range affected {
+		if len(notes[i]) == 0 {
+			continue
+		}
+		lg := f.logs[id]
+		if lg == nil {
+			lg = &userLog{next: 1}
+			f.logs[id] = lg
+		}
+		for _, n := range notes[i] {
+			lg.entries = append(lg.entries, Entry{Cursor: lg.next, Note: n})
+			lg.next++
+			st.Notified++
+		}
+		lg.trim(f.maxLog)
+		changed = append(changed, id)
+	}
+	f.done[key] = donePair{older: olderID, newer: newerID}
+	if err := f.persistFanOutLocked(changed); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// affectedLocked intersects the items' positively-scored entity terms with
+// the inverted index and returns the matched subscriber IDs, sorted. Terms
+// no subscriber ever registered an interest in are absent from the feed
+// dictionary and cost one failed lookup.
+func (f *Feed) affectedLocked(items []recommend.Item) []string {
+	set := make(map[string]struct{})
+	seen := make(map[rdf.TermID]struct{})
+	for _, it := range items {
+		for t, w := range it.Vector {
+			if w <= 0 {
+				continue
+			}
+			tid, ok := f.dict.Lookup(t)
+			if !ok || tid == rdf.AnyID {
+				continue
+			}
+			if _, dup := seen[tid]; dup {
+				continue
+			}
+			seen[tid] = struct{}{}
+			for sub := range f.idx[tid] {
+				set[sub] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scoreLocked scores the affected subscribers against the items, sharded
+// across the worker pool. The result is index-aligned with affected; each
+// slot holds the subscriber's notifications in descending relatedness, the
+// exact output of core.UserNotifications — so feed batches equal a serial
+// Engine.Notify over the affected set. Workers only read the registry (the
+// caller holds the write lock, so nothing mutates underneath them).
+func (f *Feed) scoreLocked(affected []string, items []recommend.Item, olderID, newerID string) [][]core.Notification {
+	out := make([][]core.Notification, len(affected))
+	if len(affected) == 0 {
+		return out
+	}
+	byID := core.ItemsByID(items)
+	workers := f.workers
+	if workers > len(affected) {
+		workers = len(affected)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(affected); i += workers {
+				u := f.subs[affected[i]]
+				out[i] = core.UserNotifications(u, items, byID, olderID, newerID, f.threshold, f.k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

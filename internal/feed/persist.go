@@ -1,0 +1,294 @@
+package feed
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"evorec/internal/store"
+)
+
+// FormatV1 identifies the feed manifest format.
+const FormatV1 = "evorec-feed/v1"
+
+const (
+	manifestName = "feed.json"
+	subsFileName = "subscribers.seg"
+)
+
+// manifest is the feed's on-disk index (feed.json). Like the version
+// store's manifest it is the commit point: segments land first (temp-file +
+// rename each), the manifest last. A crash in between leaves the manifest
+// recording fewer entries than a log segment holds, or no mapping for a
+// freshly created log — load tolerates the former (the segment is the
+// truth) and ignores the latter (an orphan file, same as the store's
+// orphan-segment story).
+type manifest struct {
+	Format      string    `json:"format"`
+	Subscribers *segRef   `json:"subscribers,omitempty"`
+	Pairs       []pairRef `json:"pairs,omitempty"`
+	Logs        []logRef  `json:"logs,omitempty"`
+}
+
+type segRef struct {
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+	Count int    `json:"count"`
+}
+
+type pairRef struct {
+	Older string `json:"older"`
+	Newer string `json:"newer"`
+}
+
+type logRef struct {
+	User    string `json:"user"`
+	File    string `json:"file"`
+	Bytes   int64  `json:"bytes"`
+	Entries int    `json:"entries"`
+	Last    uint64 `json:"last"`
+}
+
+// logMeta tracks one persisted log's location and last-persisted shape.
+type logMeta struct {
+	file    string
+	bytes   int64
+	entries int
+	last    uint64
+}
+
+// load restores persisted state; a missing manifest is a fresh feed.
+func (f *Feed) load() error {
+	if f.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return fmt.Errorf("feed: creating %s: %w", f.dir, err)
+	}
+	data, err := os.ReadFile(filepath.Join(f.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("feed: reading manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("feed: decoding manifest: %w", err)
+	}
+	if man.Format != FormatV1 {
+		return fmt.Errorf("feed: manifest format %q, want %q", man.Format, FormatV1)
+	}
+	if man.Subscribers != nil {
+		if !store.ValidSegmentFileName(man.Subscribers.File) {
+			return fmt.Errorf("feed: subscriber file %q escapes the feed directory", man.Subscribers.File)
+		}
+		payload, err := store.ReadKindedSegment(f.dir, man.Subscribers.File, store.KindSubscribers)
+		if err != nil {
+			return err
+		}
+		f.subsBytes = man.Subscribers.Bytes
+		subs, err := decodeSubscribers(man.Subscribers.File, payload)
+		if err != nil {
+			return err
+		}
+		for id, p := range subs {
+			f.subs[id] = p
+			f.addPostingsLocked(id, p)
+		}
+	}
+	for _, pr := range man.Pairs {
+		f.done[pairKey(pr.Older, pr.Newer)] = donePair{older: pr.Older, newer: pr.Newer}
+	}
+	for _, ref := range man.Logs {
+		if !store.ValidSegmentFileName(ref.File) {
+			return fmt.Errorf("feed: log file %q escapes the feed directory", ref.File)
+		}
+		if _, dup := f.logs[ref.User]; dup {
+			return fmt.Errorf("feed: duplicate log for user %q in manifest", ref.User)
+		}
+		payload, err := store.ReadKindedSegment(f.dir, ref.File, store.KindFeedLog)
+		if err != nil {
+			return err
+		}
+		user, next, entries, err := decodeFeedLog(ref.File, payload)
+		if err != nil {
+			return err
+		}
+		if user != ref.User {
+			return fmt.Errorf("feed: log %s belongs to %q, manifest says %q", ref.File, user, ref.User)
+		}
+		// The segment may hold MORE than the manifest recorded: a kill
+		// between the segment write and the manifest update leaves exactly
+		// that superset, and the segment is the truth. Fewer entries than
+		// recorded means real corruption.
+		if len(entries) < ref.Entries {
+			return fmt.Errorf("feed: log %s has %d entries, manifest says %d", ref.File, len(entries), ref.Entries)
+		}
+		if next <= ref.Last {
+			return fmt.Errorf("feed: log %s next cursor %d behind manifest last %d", ref.File, next, ref.Last)
+		}
+		f.logs[user] = &userLog{next: next, entries: entries}
+		f.meta[user] = &logMeta{file: ref.File, bytes: ref.Bytes, entries: len(entries), last: next - 1}
+		if n := logFileIndex(ref.File); n > f.nextLog {
+			f.nextLog = n
+		} else if n == 0 {
+			// A manifest may name log files outside the logNNNNN scheme
+			// (hand-migrated stores); remember them so the name allocator
+			// never collides with one.
+			if f.foreignLogs == nil {
+				f.foreignLogs = make(map[string]struct{})
+			}
+			f.foreignLogs[ref.File] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// logFileIndex parses the numeric index out of "logNNNNN.feed" names (0 for
+// foreign names, which are then never collided with by construction).
+func logFileIndex(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "log%d.feed", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// newLogFileLocked hands out the next unused log file name. f.nextLog is
+// monotonic and load() seeds it past every known logNNNNN index, so the
+// only possible collisions are the foreign file names collected at load —
+// no per-call scan of the meta table (a first fan-out to N fresh
+// subscribers creates N logs; rebuilding a used-set each time would be
+// quadratic).
+func (f *Feed) newLogFileLocked() string {
+	for {
+		f.nextLog++
+		name := fmt.Sprintf("log%05d.feed", f.nextLog)
+		if _, taken := f.foreignLogs[name]; !taken {
+			return name
+		}
+	}
+}
+
+// persistSubscribersLocked rewrites the subscriber segment and the
+// manifest. In-memory feeds skip persistence entirely.
+func (f *Feed) persistSubscribersLocked() error {
+	if f.dir == "" {
+		return nil
+	}
+	if err := f.writeSubscribersLocked(); err != nil {
+		return err
+	}
+	return f.writeManifestLocked()
+}
+
+// writeSubscribersLocked writes the subscriber segment and records its
+// framed size for the manifest.
+func (f *Feed) writeSubscribersLocked() error {
+	size, err := store.WriteKindedSegment(filepath.Join(f.dir, subsFileName),
+		store.KindSubscribers, appendSubscribers(nil, f.subs))
+	if err != nil {
+		return fmt.Errorf("feed: writing subscribers: %w", err)
+	}
+	f.subsBytes = size
+	return nil
+}
+
+// persistFanOutLocked rewrites the named users' log segments (segments
+// first, manifest last — the crash-window contract). The manifest is
+// written even when no log changed: it carries the fan-out ledger, and a
+// pair that notified nobody must still survive a restart or the
+// re-delivery guarantee would silently depend on someone having been
+// notified.
+func (f *Feed) persistFanOutLocked(users []string) error {
+	if f.dir == "" {
+		return nil
+	}
+	for _, user := range users {
+		if err := f.writeLogLocked(user); err != nil {
+			return err
+		}
+	}
+	return f.writeManifestLocked()
+}
+
+// writeLogLocked writes one user's log segment and updates its meta.
+func (f *Feed) writeLogLocked(user string) error {
+	lg := f.logs[user]
+	m := f.meta[user]
+	if m == nil {
+		m = &logMeta{file: f.newLogFileLocked()}
+		f.meta[user] = m
+	}
+	size, err := store.WriteKindedSegment(filepath.Join(f.dir, m.file),
+		store.KindFeedLog, appendFeedLog(nil, user, lg.next, lg.entries))
+	if err != nil {
+		return fmt.Errorf("feed: writing log for %q: %w", user, err)
+	}
+	m.bytes = size
+	m.entries = len(lg.entries)
+	m.last = lg.next - 1
+	return nil
+}
+
+// writeManifestLocked serializes the manifest from the in-memory state.
+func (f *Feed) writeManifestLocked() error {
+	man := manifest{Format: FormatV1}
+	if f.subsBytes > 0 {
+		man.Subscribers = &segRef{File: subsFileName, Bytes: f.subsBytes, Count: len(f.subs)}
+	}
+	pairs := make([]pairRef, 0, len(f.done))
+	for _, p := range f.done {
+		pairs = append(pairs, pairRef{Older: p.older, Newer: p.newer})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Older != pairs[j].Older {
+			return pairs[i].Older < pairs[j].Older
+		}
+		return pairs[i].Newer < pairs[j].Newer
+	})
+	man.Pairs = pairs
+	users := make([]string, 0, len(f.meta))
+	for user := range f.meta {
+		users = append(users, user)
+	}
+	sort.Strings(users)
+	for _, user := range users {
+		m := f.meta[user]
+		man.Logs = append(man.Logs, logRef{
+			User: user, File: m.file, Bytes: m.bytes, Entries: m.entries, Last: m.last,
+		})
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("feed: encoding manifest: %w", err)
+	}
+	if err := store.WriteFileAtomic(filepath.Join(f.dir, manifestName), data); err != nil {
+		return fmt.Errorf("feed: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// Flush persists the full feed state — subscribers, every log, manifest.
+// It is what graceful shutdown calls; in-memory feeds no-op. Because every
+// mutation already persists eagerly, Flush mostly re-lands the same bytes,
+// but it is the cheap way to guarantee durability before exit.
+func (f *Feed) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dir == "" {
+		return nil
+	}
+	for user := range f.logs {
+		if err := f.writeLogLocked(user); err != nil {
+			return err
+		}
+	}
+	if err := f.writeSubscribersLocked(); err != nil {
+		return err
+	}
+	return f.writeManifestLocked()
+}

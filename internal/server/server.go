@@ -13,7 +13,11 @@
 //	GET  /v1/datasets/{name}/measures?older=&newer=&k=  measure evaluations
 //	GET  /v1/datasets/{name}/recommend                  per-user recommendation
 //	GET  /v1/datasets/{name}/recommend/group            group recommendation
-//	GET  /v1/datasets/{name}/notify                     notification feed
+//	GET  /v1/datasets/{name}/notify                     stateless notification scan
+//	PUT  /v1/datasets/{name}/subscribers/{id}           subscribe / update interests
+//	DELETE /v1/datasets/{name}/subscribers/{id}         unsubscribe
+//	GET  /v1/datasets/{name}/subscribers                list subscribers
+//	GET  /v1/datasets/{name}/feed/{id}?after=&limit=    poll the feed with a cursor ack
 //
 // Recommendation knobs ride as query parameters: older, newer, k, strategy
 // (plain|mmr|maxmin|novelty|semantic), lambda, interests (Class=w,... — the
@@ -58,6 +62,10 @@ func New(svc *service.Service) *Server {
 	s.mux.HandleFunc("GET /v1/datasets/{name}/recommend", s.handleRecommend)
 	s.mux.HandleFunc("GET /v1/datasets/{name}/recommend/group", s.handleRecommendGroup)
 	s.mux.HandleFunc("GET /v1/datasets/{name}/notify", s.handleNotify)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/subscribers", s.handleSubscribers)
+	s.mux.HandleFunc("PUT /v1/datasets/{name}/subscribers/{id}", s.handleSubscribe)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}/subscribers/{id}", s.handleUnsubscribe)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/feed/{id}", s.handleFeed)
 	return s
 }
 
@@ -84,7 +92,8 @@ type errorBody struct {
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, service.ErrUnknownDataset), errors.Is(err, service.ErrUnknownVersion):
+	case errors.Is(err, service.ErrUnknownDataset), errors.Is(err, service.ErrUnknownVersion),
+		errors.Is(err, service.ErrUnknownSubscriber):
 		status = http.StatusNotFound
 	case errors.Is(err, service.ErrDuplicateVersion), errors.Is(err, service.ErrDuplicateDataset):
 		status = http.StatusConflict
@@ -189,6 +198,8 @@ type infoJSON struct {
 	ContextBuilds     int      `json:"context_builds"`
 	CachedPairs       []string `json:"cached_pairs"`
 	ProvenanceRecords int      `json:"provenance_records"`
+	Subscribers       int      `json:"subscribers"`
+	FeedPairs         int      `json:"feed_pairs"`
 }
 
 func toInfoJSON(info service.Info) infoJSON {
@@ -206,6 +217,8 @@ func toInfoJSON(info service.Info) infoJSON {
 		ContextBuilds:     info.ContextBuilds,
 		CachedPairs:       info.CachedPairs,
 		ProvenanceRecords: info.ProvenanceRecords,
+		Subscribers:       info.Subscribers,
+		FeedPairs:         info.FeedPairs,
 	}
 	if out.Versions == nil {
 		out.Versions = []string{}
@@ -271,11 +284,30 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, struct {
-		ID      string `json:"id"`
-		Triples int    `json:"triples"`
-		Kind    string `json:"kind"`
-	}{info.ID, info.Triples, info.Kind})
+	type feedJSON struct {
+		Subscribers int  `json:"subscribers"`
+		Affected    int  `json:"affected"`
+		Notified    int  `json:"notified"`
+		Skipped     bool `json:"skipped,omitempty"`
+	}
+	out := struct {
+		ID      string    `json:"id"`
+		Triples int       `json:"triples"`
+		Kind    string    `json:"kind"`
+		Feed    *feedJSON `json:"feed,omitempty"`
+		// FeedError reports a fan-out failure for an otherwise durable
+		// commit (the version landed; the feed delivery degraded).
+		FeedError string `json:"feed_error,omitempty"`
+	}{ID: info.ID, Triples: info.Triples, Kind: info.Kind, FeedError: info.FeedError}
+	if info.Feed != nil {
+		out.Feed = &feedJSON{
+			Subscribers: info.Feed.Subscribers,
+			Affected:    info.Feed.Affected,
+			Notified:    info.Feed.Notified,
+			Skipped:     info.Feed.Skipped,
+		}
+	}
+	writeJSON(w, http.StatusCreated, out)
 }
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
@@ -538,6 +570,152 @@ func (s *Server) handleRecommendGroup(w http.ResponseWriter, r *http.Request) {
 		Mode            string    `json:"mode"`
 		Recommendations []recJSON `json:"recommendations"`
 	}{g.ID, g.Size(), older, newer, mode, toRecJSON(sel)})
+}
+
+// ---------------------------------------------------------------------------
+// Subscription & feed handlers
+
+type subscriberJSON struct {
+	ID        string   `json:"id"`
+	Terms     int      `json:"terms"`
+	Interests []string `json:"interests"`
+}
+
+// maxSubscribeBody bounds a subscribe request's JSON body (1 MiB — an
+// interest profile, not a dataset).
+const maxSubscribeBody = 1 << 20
+
+// handleSubscribe registers or updates a subscriber: PUT with a JSON body
+// {"interests": "Class=w,Class=w"} in the grammar the CLI and the
+// recommendation endpoints share. 201 on create, 200 on update.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubscribeBody))
+	if err != nil {
+		writeErr(w, fmt.Errorf("reading subscribe body: %w", err))
+		return
+	}
+	var req struct {
+		Interests string `json:"interests"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, fmt.Errorf("decoding subscribe body: %w", err))
+		return
+	}
+	p, err := parseInterests(r.PathValue("id"), req.Interests)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, created, err := d.Subscribe(p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, subscriberJSON{ID: info.ID, Terms: info.Terms, Interests: info.Interests})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	if err := d.Unsubscribe(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID      string `json:"id"`
+		Deleted bool   `json:"deleted"`
+	}{id, true})
+}
+
+func (s *Server) handleSubscribers(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	subs := d.Subscribers()
+	out := struct {
+		Subscribers []subscriberJSON `json:"subscribers"`
+	}{Subscribers: make([]subscriberJSON, 0, len(subs))}
+	for _, sub := range subs {
+		interests := sub.Interests
+		if interests == nil {
+			interests = []string{}
+		}
+		out.Subscribers = append(out.Subscribers, subscriberJSON{
+			ID: sub.ID, Terms: sub.Terms, Interests: interests,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFeed is the poll endpoint: entries with cursor > after (oldest
+// first, up to limit), plus the cursor to ack next time — a client loops
+// `after = next` to drain its log exactly once.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	d, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	after := uint64(0)
+	if v := q.Get("after"); v != "" {
+		after, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, fmt.Errorf("parameter after=%q is not a cursor", v))
+			return
+		}
+	}
+	limit, err := intParam(r, "limit", 100)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if limit < 1 {
+		writeErr(w, fmt.Errorf("limit must be >= 1, got %d", limit))
+		return
+	}
+	user := r.PathValue("id")
+	entries, next, err := d.PollFeed(user, after, limit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type entryJSON struct {
+		Cursor      uint64  `json:"cursor"`
+		Older       string  `json:"older"`
+		Newer       string  `json:"newer"`
+		Measure     string  `json:"measure"`
+		Relatedness float64 `json:"relatedness"`
+		Reason      string  `json:"reason"`
+	}
+	out := struct {
+		User    string      `json:"user"`
+		After   uint64      `json:"after"`
+		Next    uint64      `json:"next"`
+		Entries []entryJSON `json:"entries"`
+	}{User: user, After: after, Next: next, Entries: make([]entryJSON, 0, len(entries))}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, entryJSON{
+			Cursor: e.Cursor, Older: e.Note.OlderID, Newer: e.Note.NewerID,
+			Measure: e.Note.MeasureID, Relatedness: e.Note.Relatedness, Reason: e.Note.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleNotify(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -150,6 +151,89 @@ func TestServerGolden(t *testing.T) {
 	}
 }
 
+// TestServerFeed walks the subscription & feed endpoints end to end:
+// subscribe (201) → update (200) → list → commit triggering fan-out → poll
+// with cursor ack → unsubscribe, golden-checked byte for byte.
+func TestServerFeed(t *testing.T) {
+	srv := newTestServer(t)
+	commitBody := fmt.Sprintf("<%snotre_dame> <%stype> <%sBuilding> .\n",
+		rdf.NSResource, "http://www.w3.org/1999/02/22-rdf-syntax-ns#", rdf.NSSchema)
+	steps := []struct {
+		name       string
+		method     string
+		target     string
+		body       string
+		wantStatus int
+	}{
+		{"subscribe_create", "PUT", "/v1/datasets/gallery/subscribers/curator", `{"interests":"Painting=1,Artist=0.5"}`, 201},
+		{"subscribe_update", "PUT", "/v1/datasets/gallery/subscribers/curator", `{"interests":"Sculpture=1"}`, 200},
+		{"subscribe_cold", "PUT", "/v1/datasets/gallery/subscribers/janitor", `{"interests":"Broom=1"}`, 201},
+		{"subscribers_list", "GET", "/v1/datasets/gallery/subscribers", "", 200},
+		{"commit_fanout", "POST", "/v1/datasets/gallery/versions/v3", "", 201},
+		{"feed_poll", "GET", "/v1/datasets/gallery/feed/curator", "", 200},
+		{"feed_poll_acked", "GET", "/v1/datasets/gallery/feed/curator?after=1", "", 200},
+		{"feed_poll_cold", "GET", "/v1/datasets/gallery/feed/janitor", "", 200},
+		{"unsubscribe", "DELETE", "/v1/datasets/gallery/subscribers/janitor", "", 200},
+		{"inspect_feed", "GET", "/v1/datasets/gallery", "", 200},
+	}
+	for _, step := range steps {
+		t.Run(step.name, func(t *testing.T) {
+			body := step.body
+			if step.name == "commit_fanout" {
+				body = commitBody
+			}
+			w := do(t, srv, step.method, step.target, body)
+			if w.Code != step.wantStatus {
+				t.Fatalf("status = %d, want %d; body: %s", w.Code, step.wantStatus, w.Body.String())
+			}
+			checkGolden(t, "feed_"+step.name, w.Body.String())
+		})
+	}
+}
+
+// TestServerFeedCursorDrain checks the ack loop over HTTP: paging with
+// after=next drains the log exactly once, then stays empty.
+func TestServerFeedCursorDrain(t *testing.T) {
+	srv := newTestServer(t)
+	if w := do(t, srv, "PUT", "/v1/datasets/gallery/subscribers/u", `{"interests":"Painting=1,Artwork=0.5"}`); w.Code != 201 {
+		t.Fatalf("subscribe: %d %s", w.Code, w.Body.String())
+	}
+	commitBody := fmt.Sprintf("<%sthe_scream> <%stype> <%sPainting> .\n",
+		rdf.NSResource, "http://www.w3.org/1999/02/22-rdf-syntax-ns#", rdf.NSSchema)
+	w := do(t, srv, "POST", "/v1/datasets/gallery/versions/v3", commitBody)
+	if w.Code != 201 {
+		t.Fatalf("commit: %d %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), `"feed"`) {
+		t.Fatalf("commit body has no feed stats: %s", w.Body.String())
+	}
+	var drained int
+	after := "0"
+	for i := 0; i < 10; i++ {
+		w := do(t, srv, "GET", "/v1/datasets/gallery/feed/u?limit=1&after="+after, "")
+		if w.Code != 200 {
+			t.Fatalf("poll: %d %s", w.Code, w.Body.String())
+		}
+		var resp struct {
+			Next    uint64 `json:"next"`
+			Entries []struct {
+				Cursor uint64 `json:"cursor"`
+			} `json:"entries"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Entries) == 0 {
+			break
+		}
+		drained += len(resp.Entries)
+		after = fmt.Sprint(resp.Next)
+	}
+	if drained == 0 {
+		t.Fatal("subscriber interested in Painting drained no entries after a Painting commit")
+	}
+}
+
 // TestServerErrors checks every error path's status code and JSON shape.
 func TestServerErrors(t *testing.T) {
 	srv := newTestServer(t)
@@ -179,6 +263,16 @@ func TestServerErrors(t *testing.T) {
 		{"notify_no_users", "GET", "/v1/datasets/gallery/notify?older=v1&newer=v2", "", 400, "user"},
 		{"notify_bad_threshold", "GET", "/v1/datasets/gallery/notify?older=v1&newer=v2&user=a:Painting=1&threshold=hot", "", 400, "not a number"},
 		{"notify_threshold_range", "GET", "/v1/datasets/gallery/notify?older=v1&newer=v2&user=a:Painting=1&threshold=2", "", 400, "threshold"},
+		{"subscribe_empty", "PUT", "/v1/datasets/gallery/subscribers/u", `{"interests":""}`, 400, "interests"},
+		{"subscribe_bad_json", "PUT", "/v1/datasets/gallery/subscribers/u", `not json`, 400, "decoding subscribe body"},
+		{"subscribe_bad_weight", "PUT", "/v1/datasets/gallery/subscribers/u", `{"interests":"Painting=x"}`, 400, "bad weight"},
+		{"subscribe_nan_weight", "PUT", "/v1/datasets/gallery/subscribers/u", `{"interests":"Painting=NaN"}`, 400, "invalid weight"},
+		{"subscribe_inf_weight", "PUT", "/v1/datasets/gallery/subscribers/u", `{"interests":"Painting=+Inf"}`, 400, "invalid weight"},
+		{"subscribe_unknown_dataset", "PUT", "/v1/datasets/nope/subscribers/u", `{"interests":"Painting=1"}`, 404, "unknown dataset"},
+		{"unsubscribe_unknown", "DELETE", "/v1/datasets/gallery/subscribers/ghost", "", 404, "unknown subscriber"},
+		{"feed_unknown_user", "GET", "/v1/datasets/gallery/feed/ghost", "", 404, "unknown subscriber"},
+		{"feed_bad_after", "GET", "/v1/datasets/gallery/feed/ghost?after=x", "", 400, "not a cursor"},
+		{"feed_bad_limit", "GET", "/v1/datasets/gallery/feed/ghost?limit=0", "", 400, "limit"},
 		{"commit_malformed", "POST", "/v1/datasets/gallery/versions/vX", "this is not n-triples", 400, "parsing version"},
 		{"commit_duplicate", "POST", "/v1/datasets/gallery/versions/v1", "", 409, "already exists"},
 		{"commit_unknown_dataset", "POST", "/v1/datasets/nope/versions/v9", "", 404, "unknown dataset"},

@@ -3,11 +3,13 @@ package service
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"sync"
 
 	"evorec/internal/core"
 	"evorec/internal/delta"
+	"evorec/internal/feed"
 	"evorec/internal/profile"
 	"evorec/internal/rdf"
 	"evorec/internal/recommend"
@@ -31,6 +33,12 @@ type Dataset struct {
 	eng     *core.Engine
 	sds     *store.Dataset // nil for in-memory datasets
 	flights flightGroup
+
+	// feed is the dataset's subscription subsystem. It carries its own
+	// lock: Subscribe/Unsubscribe/Poll never touch mu, and the commit path
+	// calls FanOut while holding mu's write lock (the feed lock nests
+	// strictly inside mu, never the reverse, so the order is acyclic).
+	feed *feed.Feed
 }
 
 // newDataset wires a dataset facade. sds is nil for in-memory datasets; vs,
@@ -42,7 +50,28 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 			return nil, err
 		}
 	}
-	return &Dataset{name: name, dir: dir, eng: eng, sds: sds}, nil
+	// Only disk-backed datasets persist their feeds. An in-memory dataset's
+	// version chain dies with the process, so a persisted fan-out ledger
+	// would outlive the data it indexes: a restart could then recommit
+	// fresh content under recycled version IDs and the stale ledger would
+	// silently skip its fan-out.
+	feedDir := ""
+	if cfg.FeedDir != "" && sds != nil {
+		if !store.ValidSegmentFileName(name) {
+			return nil, fmt.Errorf("service: dataset name %q cannot name a feed directory", name)
+		}
+		feedDir = filepath.Join(cfg.FeedDir, name)
+	}
+	fd, err := feed.Open(feed.Config{
+		Dir:       feedDir,
+		Workers:   cfg.FeedWorkers,
+		Threshold: cfg.FeedThreshold,
+		K:         cfg.FeedK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd}, nil
 }
 
 // Name returns the dataset's registry name.
@@ -293,6 +322,16 @@ type CommitInfo struct {
 	// Kind is the persisted segment kind ("snapshot" or "delta"), or
 	// "memory" for in-memory datasets.
 	Kind string
+	// Feed reports the commit-triggered fan-out; nil when no fan-out ran
+	// (first version of a chain, no subscribers registered, or the pair
+	// build failed — see FeedError).
+	Feed *feed.Stats
+	// FeedError records a fan-out or feed-persistence failure. The commit
+	// itself is durable by the time fan-out runs, so its failure must not
+	// fail the commit: in-memory delivery already happened where possible
+	// and the next Flush retries persistence; the error is surfaced here
+	// for the client instead of being conflated with a commit failure.
+	FeedError string
 }
 
 // Commit parses an N-Triples body as the dataset's next version, persists
@@ -321,6 +360,7 @@ func (d *Dataset) Commit(id string, r io.Reader) (*CommitInfo, error) {
 	}
 	v := &rdf.Version{ID: id, Graph: g}
 	info := &CommitInfo{ID: id, Triples: g.Len(), Kind: "memory"}
+	prev := d.tailLocked()
 	if d.sds != nil {
 		entry, err := d.sds.Append(v)
 		if err != nil {
@@ -331,7 +371,56 @@ func (d *Dataset) Commit(id string, r io.Reader) (*CommitInfo, error) {
 	if err := d.eng.Ingest(v); err != nil {
 		return nil, err
 	}
+	// Commit-triggered fan-out: evaluate the new consecutive pair once
+	// (which also pre-warms the pair cache for the requests that follow a
+	// commit) and deliver it to the standing subscribers through the
+	// inverted index. With no subscribers the pair build is skipped
+	// entirely, so subscriber-free commits cost what they always did. The
+	// version is durable at this point, so fan-out failures are reported
+	// in FeedError, never as a commit failure — a client must not see
+	// "bad request" for a version that landed.
+	if prev != "" && d.feed.Len() > 0 {
+		if st, ferr := d.fanOutLocked(prev, id); ferr != nil {
+			info.FeedError = ferr.Error()
+			info.Feed = st
+		} else {
+			info.Feed = st
+		}
+	}
 	return info, nil
+}
+
+// fanOutLocked builds the pair's items and fans them out; callers hold the
+// write lock. A non-nil Stats alongside an error means delivery happened in
+// memory but persisting a feed file failed.
+func (d *Dataset) fanOutLocked(olderID, newerID string) (*feed.Stats, error) {
+	if err := d.ensureVersionLocked(olderID); err != nil {
+		return nil, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
+	}
+	items, err := d.eng.Items(olderID, newerID)
+	if err != nil {
+		return nil, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
+	}
+	st, err := d.feed.FanOut(olderID, newerID, items)
+	if err != nil {
+		return &st, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
+	}
+	return &st, nil
+}
+
+// tailLocked returns the current last version ID ("" for an empty chain).
+func (d *Dataset) tailLocked() string {
+	if d.sds != nil {
+		ids := d.sds.IDs()
+		if len(ids) == 0 {
+			return ""
+		}
+		return ids[len(ids)-1]
+	}
+	if latest := d.eng.Versions().Latest(); latest != nil {
+		return latest.ID
+	}
+	return ""
 }
 
 // dictLocked resolves the dictionary new versions intern into: the backing
@@ -366,6 +455,43 @@ func (d *Dataset) ContextBuilds() int {
 	return d.eng.ContextBuilds()
 }
 
+// InvalidateVersion drops every cached pair involving the version (a
+// repair/replace hook) and returns how many pairs were dropped. The feed's
+// fan-out ledger is deliberately left intact: a pair rebuilt after
+// invalidation is recognized as already delivered, so subscribers are never
+// re-notified for a pair they have seen.
+func (d *Dataset) InvalidateVersion(id string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eng.InvalidateVersion(id)
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions & feed
+
+// Subscribe registers (or updates) a subscriber from its profile; the
+// profile is cloned. It reports whether the subscriber was newly created.
+func (d *Dataset) Subscribe(p *profile.Profile) (feed.SubscriberInfo, bool, error) {
+	return d.feed.Subscribe(p)
+}
+
+// Unsubscribe removes a subscriber (ErrUnknownSubscriber if absent). The
+// user's feed log is retained for polling.
+func (d *Dataset) Unsubscribe(id string) error { return d.feed.Unsubscribe(id) }
+
+// Subscribers lists the registered subscribers, sorted by ID.
+func (d *Dataset) Subscribers() []feed.SubscriberInfo { return d.feed.Subscribers() }
+
+// PollFeed returns up to limit of user's feed entries with cursor > after,
+// plus the cursor to ack on the next poll.
+func (d *Dataset) PollFeed(user string, after uint64, limit int) ([]feed.Entry, uint64, error) {
+	return d.feed.Poll(user, after, limit)
+}
+
+// Feed exposes the dataset's feed subsystem (tests and benchmarks drive it
+// directly; HTTP traffic goes through the wrappers above).
+func (d *Dataset) Feed() *feed.Feed { return d.feed }
+
 // Info is a dataset inspection snapshot.
 type Info struct {
 	// Name is the registry name.
@@ -390,6 +516,10 @@ type Info struct {
 	CachedPairs   []string
 	// ProvenanceRecords counts the provenance log's entries.
 	ProvenanceRecords int
+	// Subscribers counts registered feed subscribers; FeedPairs counts the
+	// version pairs fanned out to them.
+	Subscribers int
+	FeedPairs   int
 }
 
 // Info returns an inspection snapshot of the dataset.
@@ -403,6 +533,8 @@ func (d *Dataset) Info() Info {
 		ContextBuilds:     d.eng.ContextBuilds(),
 		CachedPairs:       d.eng.CachedPairs(),
 		ProvenanceRecords: d.eng.Provenance().Len(),
+		Subscribers:       d.feed.Len(),
+		FeedPairs:         d.feed.Pairs(),
 	}
 	if d.sds != nil {
 		man := d.sds.Manifest()

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"evorec/internal/feed"
 	"evorec/internal/measures"
 	"evorec/internal/rdf"
 	"evorec/internal/store"
@@ -48,6 +49,10 @@ var (
 	ErrDuplicateVersion = errors.New("service: version already exists")
 	// ErrDuplicateDataset reports a registration reusing a dataset name.
 	ErrDuplicateDataset = errors.New("service: dataset already registered")
+	// ErrUnknownSubscriber reports a subscriber ID with no registration and
+	// no retained feed log (re-exported from the feed subsystem so HTTP
+	// handlers map one sentinel set).
+	ErrUnknownSubscriber = feed.ErrUnknownSubscriber
 )
 
 // Config parameterizes a Service. The zero value is usable.
@@ -63,6 +68,22 @@ type Config struct {
 	// CacheCap overrides the store LRU capacity of disk-backed datasets
 	// (minimum 1); zero keeps store.DefaultCacheCap.
 	CacheCap int
+	// FeedDir roots feed persistence: each disk-backed dataset's subscriber
+	// registry and per-user feed logs live under FeedDir/<dataset name>.
+	// Empty keeps every feed in memory. In-memory datasets always keep
+	// their feeds in memory — their version chains don't survive a
+	// restart, so a persisted fan-out ledger would wrongly suppress
+	// delivery for recycled version IDs.
+	FeedDir string
+	// FeedWorkers bounds each dataset's fan-out worker pool; zero keeps
+	// feed.DefaultWorkers.
+	FeedWorkers int
+	// FeedThreshold is the minimum relatedness notified on commit; zero
+	// keeps feed.DefaultThreshold.
+	FeedThreshold float64
+	// FeedK caps notifications per subscriber per commit; zero keeps
+	// feed.DefaultK.
+	FeedK int
 }
 
 // Service is the multi-dataset registry. All methods are safe for
@@ -164,4 +185,21 @@ func (s *Service) Infos() []Info {
 		out = append(out, d.Info())
 	}
 	return out
+}
+
+// FlushFeeds persists every dataset's feed state (subscribers, logs,
+// manifests). Graceful shutdown calls it after draining in-flight
+// requests; in-memory feeds no-op.
+func (s *Service) FlushFeeds() error {
+	var firstErr error
+	for _, name := range s.Names() {
+		d, err := s.Get(name)
+		if err != nil {
+			continue
+		}
+		if err := d.feed.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("flushing feed of dataset %q: %w", name, err)
+		}
+	}
+	return firstErr
 }

@@ -1,0 +1,53 @@
+package store
+
+// Auxiliary segment kinds. The dictionary/snapshot/delta kinds (1-3) belong
+// to the version chain; the kinds below frame the feed subsystem's files
+// (internal/feed) in the same magic/length/CRC32 envelope, so every durable
+// byte in an evorec data directory rejects truncation and corruption the
+// same way. The framing helpers are exported for exactly that reuse — the
+// payload codecs stay with their owning packages to keep layering intact
+// (store knows triples, not subscribers).
+const (
+	// KindFeedLog frames one user's feed log (internal/feed).
+	KindFeedLog byte = 4
+	// KindSubscribers frames the subscriber registry (internal/feed).
+	KindSubscribers byte = 5
+)
+
+// WriteKindedSegment frames payload under the given segment kind and writes
+// it to path via a temp file + rename, returning the framed size. A crash
+// mid-write never leaves a torn file under the final name.
+func WriteKindedSegment(path string, kind byte, payload []byte) (int64, error) {
+	return writeSegment(path, kind, payload)
+}
+
+// ReadKindedSegment reads dir/file and unframes it, validating magic, kind,
+// exact length and checksum.
+func ReadKindedSegment(dir, file string, kind byte) ([]byte, error) {
+	return readSegment(dir, file, kind)
+}
+
+// EncodeKindedSegment frames payload in memory — what WriteKindedSegment
+// persists. Fuzz harnesses use it to seed well-formed segments.
+func EncodeKindedSegment(kind byte, payload []byte) []byte {
+	buf := make([]byte, 0, segHeaderLen+len(payload)+segTrailerLen)
+	return appendFramed(buf, kind, payload)
+}
+
+// DecodeKindedSegment validates the framing of a whole segment held in
+// memory and returns its payload; name labels errors.
+func DecodeKindedSegment(name string, data []byte, kind byte) ([]byte, error) {
+	return decodeSegment(name, data, kind)
+}
+
+// WriteFileAtomic writes data to path through a sibling temp file + rename,
+// the same all-or-nothing discipline every store file lands with. The feed
+// manifest uses it so its commit point is a single rename.
+func WriteFileAtomic(path string, data []byte) error {
+	return writeFileAtomic(path, data)
+}
+
+// ValidSegmentFileName reports whether name is a plain file name that
+// resolves inside its directory: no separators, no "..", nothing rooted.
+// Readers of untrusted manifests (the feed's included) refuse anything else.
+func ValidSegmentFileName(name string) bool { return validFileName(name) }

@@ -74,16 +74,20 @@ func writeSegment(path string, kind byte, payload []byte) (int64, error) {
 	if uint64(len(payload)) > math.MaxUint32 {
 		return 0, fmt.Errorf("store: segment payload %d bytes exceeds the 4 GiB format limit", len(payload))
 	}
-	buf := make([]byte, 0, segHeaderLen+len(payload)+segTrailerLen)
-	buf = append(buf, segMagic...)
-	buf = append(buf, kind)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf := appendFramed(make([]byte, 0, segHeaderLen+len(payload)+segTrailerLen), kind, payload)
 	if err := writeFileAtomic(path, buf); err != nil {
 		return 0, fmt.Errorf("store: writing segment: %w", err)
 	}
 	return int64(len(buf)), nil
+}
+
+// appendFramed appends the full segment envelope (header, payload, CRC).
+func appendFramed(buf []byte, kind byte, payload []byte) []byte {
+	buf = append(buf, segMagic...)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 }
 
 // writeFileAtomic writes data to a sibling temp file and renames it over
