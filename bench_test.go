@@ -284,7 +284,29 @@ func BenchmarkAllMeasures(b *testing.B) {
 	}
 }
 
+// BenchmarkRecommendTopK measures the served scoring path: the item index
+// compiled once per pair (as the engine caches it), each request compiling
+// the user's interests and scoring through flat vectors and postings.
+// BenchmarkRecommendTopKMap is the map-scored reference path the kernel is
+// held bit-identical to.
 func BenchmarkRecommendTopK(b *testing.B) {
+	older, newer := benchVersions(b)
+	ctx := measures.NewContext(older, newer)
+	idx := recommend.NewItemIndex(recommend.BuildItems(ctx, measures.NewRegistry()))
+	sch := schema.Extract(older.Graph)
+	pool, _, err := synth.GenerateProfiles(sch, synth.ProfileConfig{Users: 8, ExtraInterests: 2},
+		rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.TopK(pool[i%len(pool)], 3)
+	}
+}
+
+func BenchmarkRecommendTopKMap(b *testing.B) {
 	older, newer := benchVersions(b)
 	ctx := measures.NewContext(older, newer)
 	items := recommend.BuildItems(ctx, measures.NewRegistry())
@@ -529,6 +551,7 @@ func BenchmarkFeedFanout(b *testing.B) {
 	older, newer := benchVersions(b)
 	ctx := measures.NewContext(older, newer)
 	items := recommend.BuildItems(ctx, measures.NewRegistry())
+	idx := evorec.NewItemIndex(items)
 	var hot evorec.Term
 	hotW := 0.0
 	for _, it := range items {
@@ -567,7 +590,7 @@ func BenchmarkFeedFanout(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					st, err := f.FanOut("v1", fmt.Sprintf("n%08d", i), items)
+					st, err := f.FanOutIndexed("v1", fmt.Sprintf("n%08d", i), idx)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"evorec"
+)
+
+// benchResult is one benchmark's headline metrics, the unit of the perf
+// trajectory artifact CI uploads per PR.
+type benchResult struct {
+	NsPerOp     int64 `json:"ns_op"`
+	AllocsPerOp int64 `json:"allocs_op"`
+	BytesPerOp  int64 `json:"bytes_op"`
+}
+
+// cmdBench runs the scoring-kernel benchmarks in-process (the hot paths the
+// serving stack bottoms out in: point recommendation on the flat kernel and
+// on the map reference path, engine notification, commit-triggered feed
+// fan-out, and k-anonymization) and prints a table or, with -json, the
+// machine-readable form CI archives as BENCH_5.json.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit JSON (benchmark name -> ns/op, allocs/op, bytes/op)")
+	subscribers := fs.Int("subscribers", 10_000, "feed fan-out pool size (1% affected)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	vs, _, err := evorec.GenerateVersions(evorec.SmallKB(),
+		evorec.EvolveConfig{Ops: 80, Locality: 0.8}, 1, 42)
+	if err != nil {
+		return err
+	}
+	older, _ := vs.Get("v1")
+	newer, _ := vs.Get("v2")
+	ctx := evorec.NewMeasureContext(older, newer)
+	items := evorec.BuildItems(ctx, evorec.NewMeasureRegistry())
+	idx := evorec.NewItemIndex(items)
+	sch := evorec.ExtractSchema(older.Graph)
+	pool, _, err := evorec.GenerateProfiles(sch,
+		evorec.ProfileConfig{Users: 16, ExtraInterests: 2}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		return err
+	}
+	eng := evorec.NewEngine(evorec.EngineConfig{})
+	if err := eng.IngestAll(vs); err != nil {
+		return err
+	}
+	if _, err := eng.Items("v1", "v2"); err != nil {
+		return err
+	}
+
+	// Feed fixture: 1% of the pool subscribes to the hottest scored entity,
+	// the rest to a term outside every item vector — the fan-out scores
+	// only the affected share (the BenchmarkFeedFanout shape, CI-sized).
+	var hot evorec.Term
+	hotW := 0.0
+	for _, it := range items {
+		for tm, w := range it.Vector {
+			if w > hotW {
+				hot, hotW = tm, w
+			}
+		}
+	}
+	if hotW == 0 {
+		return fmt.Errorf("bench: no scored entity in items")
+	}
+	cold := evorec.SchemaIRI("FanoutColdRegion")
+	fd, err := evorec.OpenFeed(evorec.FeedConfig{Threshold: 0.01, K: 1, MaxLog: 4})
+	if err != nil {
+		return err
+	}
+	affected := *subscribers / 100
+	if affected < 1 {
+		affected = 1
+	}
+	for i := 0; i < *subscribers; i++ {
+		u := evorec.NewProfile(fmt.Sprintf("u%06d", i))
+		if i < affected {
+			u.SetInterest(hot, 1)
+		} else {
+			u.SetInterest(cold, 1)
+		}
+		if _, _, err := fd.Subscribe(u); err != nil {
+			return err
+		}
+	}
+
+	anonPool := pool
+	if len(anonPool) > 16 {
+		anonPool = anonPool[:16]
+	}
+	seq := 0
+
+	type namedBench struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	benches := []namedBench{
+		{"recommend_topk_flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx.TopK(pool[i%len(pool)], 3)
+			}
+		}},
+		{"recommend_topk_map", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				evorec.TopK(pool[i%len(pool)], items, 3)
+			}
+		}},
+		{"notify_pool16", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Notify(pool, "v1", "v2", 0.1, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("feed_fanout_%dk_1pct", *subscribers/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// seq stays monotonic across the harness's b.N reruns: the
+				// shared feed's idempotence ledger must never skip a pair.
+				seq++
+				st, err := fd.FanOutIndexed("v1", fmt.Sprintf("n%08d", seq), idx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Affected != affected {
+					b.Fatalf("affected = %d, want %d", st.Affected, affected)
+				}
+			}
+		}},
+		{"kanonymize_16", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := evorec.KAnonymize(anonPool, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	out := make(map[string]benchResult, len(benches))
+	for _, nb := range benches {
+		r := testing.Benchmark(nb.fn)
+		if r.N == 0 {
+			// testing.Benchmark reports failure as a zero-value result
+			// rather than an error; a zeroed entry would silently corrupt
+			// the CI perf-trajectory artifact.
+			return fmt.Errorf("bench: %s failed (no iterations completed)", nb.name)
+		}
+		out[nb.name] = benchResult{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if !*asJSON {
+			fmt.Printf("%-28s %12d ns/op %10d B/op %8d allocs/op   (%d iterations)\n",
+				nb.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"format":     "evorec-bench/v1",
+			"benchmarks": out,
+		})
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	report     personalized evolution digest for a user
 //	summarize  relevance-based schema summary of one version
 //	serve      run the HTTP evolution service over stored datasets
+//	bench      run the scoring-kernel benchmarks (-json for CI artifacts)
 //
 // Run "evorec <subcommand> -h" for flags.
 package main
@@ -52,6 +53,8 @@ func main() {
 		err = cmdSummarize(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,7 +81,8 @@ subcommands:
   store      pack versions into / inspect the binary segment store
   report     personalized evolution digest for a user
   summarize  relevance-based schema summary of one version
-  serve      run the HTTP evolution service over stored datasets`)
+  serve      run the HTTP evolution service over stored datasets
+  bench      run the scoring-kernel benchmarks (-json for CI artifacts)`)
 }
 
 func cmdGenerate(args []string) error {

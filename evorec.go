@@ -246,6 +246,17 @@ func BuildItems(ctx *MeasureContext, reg *MeasureRegistry) []Item {
 	return recommend.BuildItems(ctx, reg)
 }
 
+// ItemIndex is the ID-native scoring kernel over one pair's items: flat
+// sorted TermID vectors with cached norms behind an inverted term → item
+// postings index, with bounded-heap top-k selection. Its rankings are
+// bit-identical to the map-scored reference functions (TopK, GroupTopK,
+// ...); the engine caches one per version pair and the feed fan-out scores
+// subscribers through it (see DESIGN.md §9).
+type ItemIndex = recommend.ItemIndex
+
+// NewItemIndex compiles items into the flat scoring kernel form.
+func NewItemIndex(items []Item) *ItemIndex { return recommend.NewItemIndex(items) }
+
 // Relatedness scores how related an item is to a user (§III-a).
 func Relatedness(u *Profile, it Item) float64 { return recommend.Relatedness(u, it) }
 

@@ -51,8 +51,9 @@ type Engine struct {
 	versionRec map[string]string // version ID -> provenance record ID
 	ctxCache   map[string]*measures.Context
 	itemsCache map[string][]recommend.Item
-	itemsRec   map[string]string // pair key -> provenance record ID
-	ctxBuilds  int               // contexts actually constructed (cache misses)
+	idxCache   map[string]*recommend.ItemIndex // built with itemsCache, same lifetime
+	itemsRec   map[string]string               // pair key -> provenance record ID
+	ctxBuilds  int                             // contexts actually constructed (cache misses)
 }
 
 // New builds an engine from the config.
@@ -79,6 +80,7 @@ func New(cfg Config) *Engine {
 		versionRec: make(map[string]string),
 		ctxCache:   make(map[string]*measures.Context),
 		itemsCache: make(map[string][]recommend.Item),
+		idxCache:   make(map[string]*recommend.ItemIndex),
 		itemsRec:   make(map[string]string),
 	}
 }
@@ -160,6 +162,11 @@ func (e *Engine) Items(olderID, newerID string) ([]recommend.Item, error) {
 	}
 	items := recommend.BuildItems(ctx, e.registry)
 	e.itemsCache[key] = items
+	// The scoring kernel's item index lives and dies with the item cache:
+	// built once per pair, so every later recommend/notify against the pair
+	// scores through flat vectors and postings without mutating anything —
+	// the property that lets the service run them under a read lock.
+	e.idxCache[key] = recommend.NewItemIndex(items)
 
 	deltaRec, _ := e.prov.Creator("delta:" + key)
 	artifacts := make([]string, 0, len(items))
@@ -173,6 +180,17 @@ func (e *Engine) Items(olderID, newerID string) ([]recommend.Item, error) {
 	}
 	e.itemsRec[key] = rec.ID
 	return items, nil
+}
+
+// ItemIndex returns (building and caching the pair on first use) the
+// scoring kernel's item index for a version pair. The index is immutable
+// and safe for concurrent use; the feed fan-out borrows it so commits score
+// subscribers through the exact structures the recommend path uses.
+func (e *Engine) ItemIndex(olderID, newerID string) (*recommend.ItemIndex, error) {
+	if _, err := e.Items(olderID, newerID); err != nil {
+		return nil, err
+	}
+	return e.idxCache[pairKey(olderID, newerID)], nil
 }
 
 // HasItems reports whether the pair's items (and therefore its context) are
@@ -207,6 +225,7 @@ func (e *Engine) InvalidatePair(olderID, newerID string) bool {
 	_, hadItems := e.itemsCache[key]
 	delete(e.ctxCache, key)
 	delete(e.itemsCache, key)
+	delete(e.idxCache, key)
 	delete(e.itemsRec, key)
 	return hadCtx || hadItems
 }
@@ -221,6 +240,7 @@ func (e *Engine) InvalidateVersion(id string) int {
 		if ctx.Older.ID == id || ctx.Newer.ID == id {
 			delete(e.ctxCache, key)
 			delete(e.itemsCache, key)
+			delete(e.idxCache, key)
 			delete(e.itemsRec, key)
 			n++
 		}
@@ -291,10 +311,15 @@ func (e *Engine) Recommend(u *profile.Profile, req Request) ([]recommend.Recomme
 	if err != nil {
 		return nil, err
 	}
+	key := pairKey(req.OlderID, req.NewerID)
+	idx := e.idxCache[key]
 	lambda := req.Lambda
 	if lambda == 0 {
 		lambda = 0.5
 	}
+	// Point selections run on the flat kernel (bit-identical to the map
+	// path); the greedy diversifiers score item pairs adaptively and stay on
+	// the reference functions.
 	var sel []recommend.Recommendation
 	switch req.Strategy {
 	case DiverseMMR:
@@ -302,18 +327,17 @@ func (e *Engine) Recommend(u *profile.Profile, req Request) ([]recommend.Recomme
 	case DiverseMaxMin:
 		sel = recommend.MaxMin(u, items, req.K)
 	case NoveltyAware:
-		sel = recommend.NoveltyTopK(u, items, req.K)
+		sel = idx.NoveltyTopK(u, req.K)
 	case SemanticDiverse:
-		sel = recommend.SemanticTopK(u, items, req.K)
+		sel = idx.SemanticTopK(u, req.K)
 	default:
-		sel = recommend.TopK(u, items, req.K)
+		sel = idx.TopK(u, req.K)
 	}
 	if req.MarkSeen {
 		for _, s := range sel {
 			u.MarkSeen(s.MeasureID)
 		}
 	}
-	key := pairKey(req.OlderID, req.NewerID)
 	artifact := fmt.Sprintf("rec:%s:%s:%s", u.ID, key, req.Strategy)
 	if _, err := e.prov.Append("recommend", e.agent, provenance.Inference,
 		[]string{e.itemsRec[key]}, []string{artifact},
@@ -352,13 +376,13 @@ func (e *Engine) RecommendGroup(g *profile.Group, req GroupRequest) ([]recommend
 	if err != nil {
 		return nil, err
 	}
+	key := pairKey(req.OlderID, req.NewerID)
 	var sel []recommend.Recommendation
 	if req.FairGreedy {
 		sel = recommend.FairGreedyTopK(g, items, req.K, req.FairAlpha)
 	} else {
-		sel = recommend.GroupTopK(g, items, req.K, req.Aggregation)
+		sel = e.idxCache[key].GroupTopK(g, req.K, req.Aggregation)
 	}
-	key := pairKey(req.OlderID, req.NewerID)
 	mode := req.Aggregation.String()
 	if req.FairGreedy {
 		mode = fmt.Sprintf("fair_greedy(α=%.2f)", req.FairAlpha)

@@ -28,9 +28,9 @@ type Notification struct {
 	Reason string
 }
 
-// ItemsByID indexes items by measure ID. Notify and the feed fan-out build
-// it once per pair instead of re-scanning the item slice for every ranked
-// measure of every user.
+// ItemsByID indexes items by measure ID. It is the map-path companion of
+// UserNotifications; the served paths use the pair's cached
+// recommend.ItemIndex (whose ByID does the same job) instead.
 func ItemsByID(items []recommend.Item) map[string]recommend.Item {
 	byID := make(map[string]recommend.Item, len(items))
 	for _, it := range items {
@@ -41,9 +41,10 @@ func ItemsByID(items []recommend.Item) map[string]recommend.Item {
 
 // UserNotifications emits one user's notifications for a version pair: the
 // user's top-k measures whose relatedness crosses the threshold, in
-// descending relatedness order. It is the per-user body of Notify, exported
-// so the feed fan-out (internal/feed) scores affected subscribers through
-// the exact same path — the parity tests compare the two outputs verbatim.
+// descending relatedness order. It is the map-scored reference body of
+// Notify, kept as the oracle the parity suite holds the flat kernel to;
+// Engine.Notify and the feed fan-out route through UserNotificationsIndexed,
+// which must produce this output verbatim — reasons included.
 func UserNotifications(u *profile.Profile, items []recommend.Item, byID map[string]recommend.Item, olderID, newerID string, threshold float64, k int) []Notification {
 	var out []Notification
 	for _, r := range recommend.TopK(u, items, k) {
@@ -66,6 +67,25 @@ func UserNotifications(u *profile.Profile, items []recommend.Item, byID map[stri
 	return out
 }
 
+// UserNotificationsIndexed is UserNotifications on the flat kernel: one
+// interest compile, candidate-only scoring through the pair's item index,
+// and flat explanations only for the measures actually emitted. Output is
+// bit-identical to UserNotifications over the same items.
+func UserNotificationsIndexed(u *profile.Profile, idx *recommend.ItemIndex, olderID, newerID string, threshold float64, k int) []Notification {
+	var out []Notification
+	idx.NotifyEach(u, threshold, k, func(measureID string, score float64, reason string) {
+		out = append(out, Notification{
+			UserID:      u.ID,
+			OlderID:     olderID,
+			NewerID:     newerID,
+			MeasureID:   measureID,
+			Relatedness: score,
+			Reason:      reason,
+		})
+	})
+	return out
+}
+
 // Notify scans the pool after a version pair and emits, per user, the top
 // measures whose relatedness crosses the threshold — at most k per user.
 // Users whose interests are untouched by the evolution stay silent; the
@@ -78,14 +98,13 @@ func (e *Engine) Notify(pool []*profile.Profile, olderID, newerID string, thresh
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	items, err := e.Items(olderID, newerID)
+	idx, err := e.ItemIndex(olderID, newerID)
 	if err != nil {
 		return nil, err
 	}
-	byID := ItemsByID(items)
 	var out []Notification
 	for _, u := range pool {
-		out = append(out, UserNotifications(u, items, byID, olderID, newerID, threshold, k)...)
+		out = append(out, UserNotificationsIndexed(u, idx, olderID, newerID, threshold, k)...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].UserID != out[j].UserID {

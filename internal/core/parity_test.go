@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+	"evorec/internal/recommend"
+)
+
+func recommendTerm(local string) rdf.Term { return rdf.SchemaIRI(local) }
+
+// The engine routes every point selection and notification through the
+// flat scoring kernel (recommend.ItemIndex); these tests hold that routing
+// bit-identical to the map-scored reference functions over the same items
+// — scores, rankings, notification batches and reason strings.
+
+func TestEngineRecommendMatchesReference(t *testing.T) {
+	e, pool := testEngine(t)
+	items, err := e.Items("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range pool {
+		for _, tc := range []struct {
+			strategy Strategy
+			want     []recommend.Recommendation
+		}{
+			{Plain, recommend.TopK(u, items, 3)},
+			{NoveltyAware, recommend.NoveltyTopK(u, items, 3)},
+			{SemanticDiverse, recommend.SemanticTopK(u, items, 3)},
+		} {
+			got, err := e.Recommend(u, Request{OlderID: "v1", NewerID: "v2", K: 3, Strategy: tc.strategy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameRecs(got, tc.want) {
+				t.Fatalf("user %s strategy %s: engine %v != reference %v", u.ID, tc.strategy, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestEngineGroupRecommendMatchesReference(t *testing.T) {
+	e, pool := testEngine(t)
+	items, err := e.Items("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := profile.NewGroup("g", pool[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []recommend.Aggregation{recommend.Average, recommend.LeastMisery, recommend.MostPleasure} {
+		want := recommend.GroupTopK(g, items, 3, agg)
+		got, err := e.RecommendGroup(g, GroupRequest{OlderID: "v1", NewerID: "v2", K: 3, Aggregation: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecs(got, want) {
+			t.Fatalf("agg %s: engine %v != reference %v", agg, got, want)
+		}
+	}
+}
+
+// TestNotifyParityWithMapPath compares Engine.Notify (flat kernel) against
+// the map-scored reference per user — including the rendered reasons, which
+// must match byte for byte.
+func TestNotifyParityWithMapPath(t *testing.T) {
+	e, pool := testEngine(t)
+	items, err := e.Items("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := e.ItemIndex("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := ItemsByID(items)
+	for _, threshold := range []float64{0, 0.05, 0.5} {
+		for _, u := range pool {
+			want := UserNotifications(u, items, byID, "v1", "v2", threshold, 3)
+			got := UserNotificationsIndexed(u, idx, "v1", "v2", threshold, 3)
+			if !sameNotes(got, want) {
+				t.Fatalf("user %s threshold %g:\nindexed  %+v\nreference %+v", u.ID, threshold, got, want)
+			}
+		}
+		// And the whole batch through the engine entry point.
+		batch, err := e.Notify(pool, "v1", "v2", threshold, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref []Notification
+		for _, u := range pool {
+			ref = append(ref, UserNotifications(u, items, byID, "v1", "v2", threshold, 3)...)
+		}
+		sort.SliceStable(ref, func(i, j int) bool {
+			if ref[i].UserID != ref[j].UserID {
+				return ref[i].UserID < ref[j].UserID
+			}
+			return ref[i].Relatedness > ref[j].Relatedness
+		})
+		if !sameNotes(batch, ref) {
+			t.Fatalf("threshold %g: Notify batch diverges from reference", threshold)
+		}
+	}
+}
+
+// TestNotifyParityDegenerateProfiles exercises the kernel fallbacks through
+// the notification path: NaN weights (NaN norm), zero weights, interests
+// outside the pair's vocabulary, and empty profiles.
+func TestNotifyParityDegenerateProfiles(t *testing.T) {
+	e, _ := testEngine(t)
+	items, err := e.Items("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := e.ItemIndex("v1", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := ItemsByID(items)
+
+	empty := profile.New("empty")
+	outside := profile.New("outside")
+	outside.Interests[recommendTerm("NoSuchEntityAnywhere")] = 1
+	zero := profile.New("zero")
+	nanu := profile.New("nanu")
+	for tm := range items[0].Vector {
+		zero.Interests[tm] = 0
+		nanu.Interests[tm] = math.NaN()
+		break
+	}
+	for _, u := range []*profile.Profile{empty, outside, zero, nanu} {
+		want := UserNotifications(u, items, byID, "v1", "v2", 0.05, 3)
+		got := UserNotificationsIndexed(u, idx, "v1", "v2", 0.05, 3)
+		if !sameNotes(got, want) {
+			t.Fatalf("user %s:\nindexed  %+v\nreference %+v", u.ID, got, want)
+		}
+	}
+}
+
+// sameRecs compares recommendation lists bitwise (NaN-tolerant).
+func sameRecs(a, b []recommend.Recommendation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].MeasureID != b[i].MeasureID ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameNotes compares notification batches field for field with bitwise
+// relatedness (NaN is a legal score for degenerate profiles).
+func sameNotes(a, b []Notification) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.UserID != y.UserID || x.OlderID != y.OlderID || x.NewerID != y.NewerID ||
+			x.MeasureID != y.MeasureID || x.Reason != y.Reason ||
+			math.Float64bits(x.Relatedness) != math.Float64bits(y.Relatedness) {
+			return false
+		}
+	}
+	return true
+}

@@ -7,6 +7,7 @@ import (
 	"evorec/internal/feed"
 	"evorec/internal/profile"
 	"evorec/internal/rdf"
+	"evorec/internal/recommend"
 )
 
 // E12FeedLocality (Table 8) verifies the feed subsystem's fan-out locality
@@ -79,7 +80,10 @@ func E12FeedLocality(p Params) (string, error) {
 		}
 	}
 
-	st, err := f.FanOut(olderID, newerID, ds.Items)
+	// Fan out through the compiled scoring index — the same shape the
+	// service's commit path uses (index built once per pair, amortized over
+	// every affected subscriber).
+	st, err := f.FanOutIndexed(olderID, newerID, recommend.NewItemIndex(ds.Items))
 	if err != nil {
 		return "", err
 	}

@@ -27,17 +27,26 @@ type Stats struct {
 }
 
 // FanOut delivers one committed version pair to the standing subscriber
-// population: it intersects the evaluated items' entity terms with the
-// inverted interest index, scores only the matched subscribers (sharded
-// across the bounded worker pool, through the same bit-deterministic
-// relatedness path Engine.Notify uses), and appends the resulting
-// notifications to the affected users' feed logs under fresh cursors.
+// population. It is the convenience form of FanOutIndexed for callers
+// holding a bare item slice: the scoring index is compiled here, once,
+// and amortized over every affected subscriber. The service's commit path
+// passes the engine's pair-cached index through FanOutIndexed instead.
+func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, error) {
+	return f.FanOutIndexed(olderID, newerID, recommend.NewItemIndex(items))
+}
+
+// FanOutIndexed delivers one committed version pair to the standing
+// subscriber population: it intersects the indexed items' entity terms with
+// the inverted interest index, scores only the matched subscribers (sharded
+// across the bounded worker pool, through the same flat-kernel relatedness
+// path Engine.Notify uses), and appends the resulting notifications to the
+// affected users' feed logs under fresh cursors.
 //
 // The whole fan-out holds the write lock, so it sees — and delivers to — a
 // consistent registry snapshot: a subscriber present when FanOut starts
 // gets its full batch exactly once, however much churn races the commit.
 // Cost scales with the affected set, not the pool.
-func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, error) {
+func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) (Stats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := Stats{OlderID: olderID, NewerID: newerID, Subscribers: len(f.subs)}
@@ -46,9 +55,9 @@ func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, e
 		st.Skipped = true
 		return st, nil
 	}
-	affected := f.affectedLocked(items)
+	affected := f.affectedLocked(idx)
 	st.Affected = len(affected)
-	notes := f.scoreLocked(affected, items, olderID, newerID)
+	notes := f.scoreLocked(affected, idx, olderID, newerID)
 	changed := make([]string, 0, len(affected))
 	for i, id := range affected {
 		if len(notes[i]) == 0 {
@@ -74,29 +83,20 @@ func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, e
 	return st, nil
 }
 
-// affectedLocked intersects the items' positively-scored entity terms with
-// the inverted index and returns the matched subscriber IDs, sorted. Terms
-// no subscriber ever registered an interest in are absent from the feed
+// affectedLocked intersects the index's positively-scored entity terms
+// (precomputed and deduplicated at index build) with the inverted
+// subscriber index and returns the matched subscriber IDs, sorted. Terms no
+// subscriber ever registered an interest in are absent from the feed
 // dictionary and cost one failed lookup.
-func (f *Feed) affectedLocked(items []recommend.Item) []string {
+func (f *Feed) affectedLocked(idx *recommend.ItemIndex) []string {
 	set := make(map[string]struct{})
-	seen := make(map[rdf.TermID]struct{})
-	for _, it := range items {
-		for t, w := range it.Vector {
-			if w <= 0 {
-				continue
-			}
-			tid, ok := f.dict.Lookup(t)
-			if !ok || tid == rdf.AnyID {
-				continue
-			}
-			if _, dup := seen[tid]; dup {
-				continue
-			}
-			seen[tid] = struct{}{}
-			for sub := range f.idx[tid] {
-				set[sub] = struct{}{}
-			}
+	for _, t := range idx.EntityTerms() {
+		tid, ok := f.dict.Lookup(t)
+		if !ok || tid == rdf.AnyID {
+			continue
+		}
+		for sub := range f.idx[tid] {
+			set[sub] = struct{}{}
 		}
 	}
 	out := make([]string, 0, len(set))
@@ -107,18 +107,19 @@ func (f *Feed) affectedLocked(items []recommend.Item) []string {
 	return out
 }
 
-// scoreLocked scores the affected subscribers against the items, sharded
-// across the worker pool. The result is index-aligned with affected; each
-// slot holds the subscriber's notifications in descending relatedness, the
-// exact output of core.UserNotifications — so feed batches equal a serial
-// Engine.Notify over the affected set. Workers only read the registry (the
-// caller holds the write lock, so nothing mutates underneath them).
-func (f *Feed) scoreLocked(affected []string, items []recommend.Item, olderID, newerID string) [][]core.Notification {
+// scoreLocked scores the affected subscribers against the indexed items,
+// sharded across the worker pool. The result is index-aligned with
+// affected; each slot holds the subscriber's notifications in descending
+// relatedness, the exact output of core.UserNotifications — so feed batches
+// equal a serial Engine.Notify over the affected set. Each worker scores
+// through core.UserNotificationsIndexed, inheriting the kernel's pooled
+// per-call scratch. Workers only read the registry (the caller holds the
+// write lock, so nothing mutates underneath them).
+func (f *Feed) scoreLocked(affected []string, idx *recommend.ItemIndex, olderID, newerID string) [][]core.Notification {
 	out := make([][]core.Notification, len(affected))
 	if len(affected) == 0 {
 		return out
 	}
-	byID := core.ItemsByID(items)
 	workers := f.workers
 	if workers > len(affected) {
 		workers = len(affected)
@@ -130,7 +131,7 @@ func (f *Feed) scoreLocked(affected []string, items []recommend.Item, olderID, n
 			defer wg.Done()
 			for i := w; i < len(affected); i += workers {
 				u := f.subs[affected[i]]
-				out[i] = core.UserNotifications(u, items, byID, olderID, newerID, f.threshold, f.k)
+				out[i] = core.UserNotificationsIndexed(u, idx, olderID, newerID, f.threshold, f.k)
 			}
 		}(w)
 	}

@@ -88,10 +88,19 @@ func (s Scores) Normalize() Scores {
 	return out
 }
 
-// Total returns the sum of all scores.
+// Total returns the sum of all scores, accumulated smallest-first so the
+// result is a function of the score multiset alone. Map iteration order
+// used to wiggle the last float bits run to run, which the popularity
+// ranking (and its cached form in the scoring kernel's item index) turns
+// into nondeterministic tie-breaks.
 func (s Scores) Total() float64 {
-	sum := 0.0
+	vals := make([]float64, 0, len(s))
 	for _, v := range s {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
 		sum += v
 	}
 	return sum

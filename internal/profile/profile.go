@@ -126,6 +126,10 @@ func (p *Profile) Cosine(scores map[rdf.Term]float64) float64 {
 // — visible once a service starts comparing concurrent results against
 // serial ones. Sorting also adds the small terms first, which is the more
 // accurate order.
+//
+// This is the reference arithmetic the flat kernel (Flat, CosineFlat) is
+// held bit-identical to; hot paths compile both sides once and run the
+// flat form instead of re-hashing terms and re-deriving norms per call.
 func CosineVectors(a, b map[rdf.Term]float64) float64 {
 	dots := make([]float64, 0, len(a))
 	nas := make([]float64, 0, len(a))
@@ -139,22 +143,11 @@ func CosineVectors(a, b map[rdf.Term]float64) float64 {
 	for _, v := range b {
 		nbs = append(nbs, v*v)
 	}
-	na, nb := sumSorted(nas), sumSorted(nbs)
+	na, nb := SortedSum(nas), SortedSum(nbs)
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return sumSorted(dots) / (math.Sqrt(na) * math.Sqrt(nb))
-}
-
-// sumSorted adds the summands smallest-first, making the floating-point
-// result deterministic for a given multiset.
-func sumSorted(xs []float64) float64 {
-	sort.Float64s(xs)
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s
+	return SortedSum(dots) / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
 // JaccardInterests computes the Jaccard similarity of the supported entity

@@ -31,6 +31,18 @@ func KAnonymize(pool []*profile.Profile, k int) ([]*profile.Profile, [][]int, er
 	}
 	sort.Slice(order, func(a, b int) bool { return pool[order[a]].ID < pool[order[b]].ID })
 
+	// Compile the pool once: the greedy clustering compares O(n²) profile
+	// pairs, and the map-based cosine re-derived both norms inside every
+	// call. The flat vectors cache each norm at compile time and share one
+	// private dictionary, so every pairwise similarity is a two-pointer
+	// merge — bit-identical to CosineVectors over the same interests.
+	dict := rdf.NewDict()
+	flats := make([]profile.Flat, n)
+	var squares, prods []float64
+	for i, p := range pool {
+		flats[i].Compile(p.Interests, dict, true, &squares)
+	}
+
 	assigned := make([]bool, n)
 	var groups [][]int
 	for _, seed := range order {
@@ -68,7 +80,7 @@ func KAnonymize(pool []*profile.Profile, k int) ([]*profile.Profile, [][]int, er
 			if !assigned[i] {
 				cands = append(cands, cand{
 					idx: i,
-					sim: profile.CosineVectors(pool[seed].Interests, pool[i].Interests),
+					sim: profile.CosineFlatBuf(&flats[seed], &flats[i], &prods),
 				})
 			}
 		}
@@ -159,13 +171,26 @@ func ReidentificationRisk(originals, published []*profile.Profile) float64 {
 	if n == 0 || len(originals) != n {
 		return 0
 	}
+	// Both pools compiled once against one dictionary: the attack compares
+	// every published profile with every original, so cached norms turn the
+	// n² inner loop into pure merges (bit-identical to CosineVectors).
+	dict := rdf.NewDict()
+	pubF := make([]profile.Flat, n)
+	origF := make([]profile.Flat, n)
+	var squares, prods []float64
+	for i := range published {
+		pubF[i].Compile(published[i].Interests, dict, true, &squares)
+	}
+	for j := range originals {
+		origF[j].Compile(originals[j].Interests, dict, true, &squares)
+	}
 	hits := 0
-	for i, pub := range published {
+	for i := range published {
 		bestSim := math.Inf(-1)
 		bestCount := 0
 		bestIsOwner := false
-		for j, orig := range originals {
-			sim := profile.CosineVectors(pub.Interests, orig.Interests)
+		for j := range originals {
+			sim := profile.CosineFlatBuf(&pubF[i], &origF[j], &prods)
 			switch {
 			case sim > bestSim:
 				bestSim = sim

@@ -26,10 +26,8 @@ func RandomTopK(items []Item, k int, rng *rand.Rand) []Recommendation {
 // PopularityTopK is the user-independent popularity baseline: items ranked
 // by the total change mass their measure reports, i.e. the measure that
 // "saw the most change" is recommended to everyone regardless of interests.
+// ItemIndex.PopularityTopK serves the same ranking from totals cached at
+// index build.
 func PopularityTopK(items []Item, k int) []Recommendation {
-	r := rankItems(items, func(it Item) float64 { return it.Scores.Total() })
-	if k < len(r) {
-		r = r[:k]
-	}
-	return r
+	return selectTopK(items, k, func(it Item) float64 { return it.Scores.Total() })
 }

@@ -112,15 +112,12 @@ func Novelty(u *profile.Profile, it Item) float64 {
 
 // NoveltyTopK ranks items by relatedness × novelty, implementing
 // novelty-based diversity: measures already shown to the user are demoted
-// in favor of fresh viewpoints.
+// in favor of fresh viewpoints. ItemIndex.NoveltyTopK is the flat-kernel
+// form.
 func NoveltyTopK(u *profile.Profile, items []Item, k int) []Recommendation {
-	r := rankItems(items, func(it Item) float64 {
+	return selectTopK(items, k, func(it Item) float64 {
 		return Relatedness(u, it) * Novelty(u, it)
 	})
-	if k < len(r) {
-		r = r[:k]
-	}
-	return r
 }
 
 // SemanticTopK implements semantic (category-based) diversity (§III-c(iii)):

@@ -1,8 +1,7 @@
 package recommend
 
 import (
-	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 
 	"evorec/internal/profile"
@@ -28,25 +27,18 @@ type Contribution struct {
 // by contribution to the relatedness dot product, descending, ties broken
 // by term order. It complements the provenance layer: provenance says how a
 // recommendation was computed, Explain says why this measure for this user.
+// Selection is the shared bounded heap, so only n contributions are ever
+// materialized however many terms overlap.
 func Explain(u *profile.Profile, it Item, n int) []Contribution {
-	var out []Contribution
+	h := newBounded(n, betterContribution)
 	for t, w := range u.Interests {
 		s, ok := it.Vector[t]
 		if !ok || s == 0 || w == 0 {
 			continue
 		}
-		out = append(out, Contribution{Term: t, UserWeight: w, ItemScore: s, Product: w * s})
+		h.offer(Contribution{Term: t, UserWeight: w, ItemScore: s, Product: w * s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Product != out[j].Product {
-			return out[i].Product > out[j].Product
-		}
-		return out[i].Term.Compare(out[j].Term) < 0
-	})
-	if n < len(out) {
-		out = out[:n]
-	}
-	return out
+	return h.take()
 }
 
 // ExplainText renders an explanation as one human-readable paragraph, e.g.
@@ -54,15 +46,37 @@ func Explain(u *profile.Profile, it Item, n int) []Contribution {
 //	relevance_shift matches your interests through Person (interest 1.00 ×
 //	change intensity 0.85) and Organization (0.50 × 0.40).
 func ExplainText(u *profile.Profile, it Item, n int) string {
-	cs := Explain(u, it, n)
+	return explainText(it.ID(), Explain(u, it, n))
+}
+
+// explainText is the shared renderer behind ExplainText and the flat
+// kernel's notification reasons; both must emit byte-identical strings for
+// the notification parity suite. It renders through one strings.Builder —
+// notifications produce one reason per emitted measure, so the fmt/join
+// garbage of the obvious implementation was a measurable slice of fan-out.
+func explainText(itemID string, cs []Contribution) string {
+	var b strings.Builder
 	if len(cs) == 0 {
-		return fmt.Sprintf("%s does not overlap with this user's interests.", it.ID())
+		b.Grow(len(itemID) + 48)
+		b.WriteString(itemID)
+		b.WriteString(" does not overlap with this user's interests.")
+		return b.String()
 	}
-	parts := make([]string, len(cs))
+	b.Grow(len(itemID) + 64*len(cs))
+	b.WriteString(itemID)
+	b.WriteString(" matches your interests through ")
+	var num [24]byte
 	for i, c := range cs {
-		parts[i] = fmt.Sprintf("%s (interest %.2f × change intensity %.2f)",
-			c.Term.Local(), c.UserWeight, c.ItemScore)
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		b.WriteString(c.Term.Local())
+		b.WriteString(" (interest ")
+		b.Write(strconv.AppendFloat(num[:0], c.UserWeight, 'f', 2, 64))
+		b.WriteString(" × change intensity ")
+		b.Write(strconv.AppendFloat(num[:0], c.ItemScore, 'f', 2, 64))
+		b.WriteString(")")
 	}
-	return fmt.Sprintf("%s matches your interests through %s.",
-		it.ID(), strings.Join(parts, " and "))
+	b.WriteString(".")
+	return b.String()
 }

@@ -65,12 +65,9 @@ func GroupScore(g *profile.Group, it Item, agg Aggregation) float64 {
 }
 
 // GroupTopK recommends k measures to the group under the given aggregation.
+// ItemIndex.GroupTopK is the flat-kernel form.
 func GroupTopK(g *profile.Group, items []Item, k int, agg Aggregation) []Recommendation {
-	r := rankItems(items, func(it Item) float64 { return GroupScore(g, it, agg) })
-	if k < len(r) {
-		r = r[:k]
-	}
-	return r
+	return selectTopK(items, k, func(it Item) float64 { return GroupScore(g, it, agg) })
 }
 
 // Satisfaction is the normalized satisfaction of one member with a

@@ -94,28 +94,15 @@ type Recommendation struct {
 	Score float64
 }
 
-// rankItems sorts item indexes by score descending with deterministic ties.
-func rankItems(items []Item, score func(Item) float64) []Recommendation {
-	out := make([]Recommendation, len(items))
-	for i, it := range items {
-		out[i] = Recommendation{MeasureID: it.ID(), Score: score(it)}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].MeasureID < out[j].MeasureID
-	})
-	return out
-}
-
 // TopK returns the k measures most related to the user.
+//
+// This is the reference (map-scored) path, kept for ad-hoc item slices and
+// as the oracle the parity suite holds the kernel to; served traffic goes
+// through ItemIndex.TopK, which produces bit-identical results from flat
+// vectors. Selection is shared: both pick k through the same bounded heap
+// under the same total order.
 func TopK(u *profile.Profile, items []Item, k int) []Recommendation {
-	r := rankItems(items, func(it Item) float64 { return Relatedness(u, it) })
-	if k < len(r) {
-		r = r[:k]
-	}
-	return r
+	return selectTopK(items, k, func(it Item) float64 { return Relatedness(u, it) })
 }
 
 // itemByID returns the item with the given measure ID.

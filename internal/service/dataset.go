@@ -390,18 +390,20 @@ func (d *Dataset) Commit(id string, r io.Reader) (*CommitInfo, error) {
 	return info, nil
 }
 
-// fanOutLocked builds the pair's items and fans them out; callers hold the
-// write lock. A non-nil Stats alongside an error means delivery happened in
-// memory but persisting a feed file failed.
+// fanOutLocked builds the pair's items and fans them out through the
+// engine's pair-cached scoring index (so the fan-out and every request that
+// follows the commit score through the same compiled structures); callers
+// hold the write lock. A non-nil Stats alongside an error means delivery
+// happened in memory but persisting a feed file failed.
 func (d *Dataset) fanOutLocked(olderID, newerID string) (*feed.Stats, error) {
 	if err := d.ensureVersionLocked(olderID); err != nil {
 		return nil, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
 	}
-	items, err := d.eng.Items(olderID, newerID)
+	idx, err := d.eng.ItemIndex(olderID, newerID)
 	if err != nil {
 		return nil, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
 	}
-	st, err := d.feed.FanOut(olderID, newerID, items)
+	st, err := d.feed.FanOutIndexed(olderID, newerID, idx)
 	if err != nil {
 		return &st, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
 	}
