@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"evorec"
@@ -19,11 +22,160 @@ type benchResult struct {
 	BytesPerOp  int64 `json:"bytes_op"`
 }
 
+// ingestBurst is the fixed unit of durable-ingestion work one benchmark
+// iteration performs: 64 versions committed into a fresh disk-backed store.
+const ingestBurst = 64
+
+// ingestBody renders one full version body: a fixed base population plus a
+// few sequence-unique triples, so consecutive versions delta-encode to a
+// small constant-size change and the benchmark measures durability cost,
+// not delta size.
+func ingestBody(seq int) string {
+	var sb strings.Builder
+	for i := 0; i < 48; i++ {
+		fmt.Fprintf(&sb, "<http://ex.org/i%03d> <http://ex.org/p%d> <http://ex.org/i%03d> .\n",
+			i, i%4, (i*7)%48)
+		fmt.Fprintf(&sb, "<http://ex.org/i%03d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/C%d> .\n",
+			i, i%3)
+	}
+	for j := 0; j < 4; j++ {
+		fmt.Fprintf(&sb, "<http://ex.org/new%09d> <http://ex.org/p0> <http://ex.org/i%03d> .\n",
+			seq*4+j, j)
+	}
+	return sb.String()
+}
+
+// ingestBenchFn builds the durable-ingestion benchmark at the given committer
+// count: every commit is acknowledged only after its WAL record is fsynced,
+// a reader keeps serving cached recommendations throughout, and ns/op is per
+// 64-version burst. workers=1 is the serial fsync-per-commit baseline;
+// workers=8 is the group-commit path the speedup figure compares against it.
+func ingestBenchFn(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		bodies := make([]string, ingestBurst+2)
+		for i := range bodies {
+			bodies[i] = ingestBody(i)
+		}
+		svc := evorec.NewService(evorec.ServiceConfig{})
+		defer svc.Close()
+		var dirs []string
+		defer func() {
+			for _, d := range dirs {
+				os.RemoveAll(d)
+			}
+		}()
+
+		var cur atomic.Pointer[evorec.ServiceDataset]
+		u := evorec.NewProfile("reader")
+		u.SetInterest(evorec.SchemaIRI("C0"), 1)
+		req := evorec.Request{OlderID: "v1", NewerID: "v2", K: 3}
+		stop := make(chan struct{})
+		readErr := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := cur.Load()
+				if d == nil {
+					continue
+				}
+				if _, err := d.Recommend(u, req); err != nil {
+					readErr <- err
+					return
+				}
+			}
+		}()
+		defer close(stop)
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "evorec-ingest-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirs = append(dirs, dir)
+			vs := evorec.NewVersionStore()
+			g1 := evorec.NewGraph()
+			if err := evorec.ReadNTriplesInto(g1, strings.NewReader(bodies[0])); err != nil {
+				b.Fatal(err)
+			}
+			if err := vs.Add(&evorec.Version{ID: "v1", Graph: g1}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := evorec.SaveStore(dir, vs, evorec.StoreOptions{Policy: evorec.StoreDeltaChain}); err != nil {
+				b.Fatal(err)
+			}
+			d, err := svc.Open(fmt.Sprintf("ingest%06d", i), dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Commit("v2", strings.NewReader(bodies[1])); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Recommend(u, req); err != nil {
+				b.Fatal(err)
+			}
+			cur.Store(d)
+			b.StartTimer()
+
+			commitOne := func(k int64) error {
+				_, err := d.Commit(fmt.Sprintf("c%03d", k), strings.NewReader(bodies[int(k)+2]))
+				return err
+			}
+			if workers == 1 {
+				for k := int64(0); k < ingestBurst; k++ {
+					if err := commitOne(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				var next int64 = -1
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							k := atomic.AddInt64(&next, 1)
+							if k >= ingestBurst {
+								return
+							}
+							if err := commitOne(k); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+			}
+		}
+		b.StopTimer()
+		select {
+		case err := <-readErr:
+			b.Fatalf("reader failed during ingest: %v", err)
+		default:
+		}
+	}
+}
+
 // cmdBench runs the scoring-kernel benchmarks in-process (the hot paths the
 // serving stack bottoms out in: point recommendation on the flat kernel and
 // on the map reference path, engine notification, commit-triggered feed
-// fan-out, and k-anonymization) and prints a table or, with -json, the
-// machine-readable form CI archives as BENCH_5.json.
+// fan-out, and k-anonymization) plus the durable-ingestion benchmarks
+// (serial fsync-per-commit vs eight committers through the group-commit
+// queue) and prints a table or, with -json, the machine-readable form CI
+// archives as BENCH_6.json.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit JSON (benchmark name -> ns/op, allocs/op, bytes/op)")
@@ -146,6 +298,8 @@ func cmdBench(args []string) error {
 				}
 			}
 		}},
+		{"ingest_serial_burst64", ingestBenchFn(1)},
+		{"ingest_group8_burst64", ingestBenchFn(8)},
 	}
 
 	out := make(map[string]benchResult, len(benches))
@@ -167,13 +321,20 @@ func cmdBench(args []string) error {
 				nb.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
 		}
 	}
+	// The durability headline: committed-versions/sec through the group
+	// committer relative to the serial fsync-per-commit baseline.
+	speedup := float64(out["ingest_serial_burst64"].NsPerOp) /
+		float64(out["ingest_group8_burst64"].NsPerOp)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(map[string]any{
-			"format":     "evorec-bench/v1",
-			"benchmarks": out,
+			"format":               "evorec-bench/v1",
+			"benchmarks":           out,
+			"ingest_group_speedup": speedup,
 		})
 	}
+	fmt.Printf("%-28s %12.2fx committed-versions/sec vs serial fsync-per-commit\n",
+		"ingest_group_speedup", speedup)
 	return nil
 }

@@ -8,7 +8,7 @@
 //	recommend  recommend measures for a user's interests
 //	trend      analyze change trends over a chain of versions
 //	archive    pack/unpack versions under an archiving policy
-//	store      pack versions into / inspect the binary segment store
+//	store      pack, inspect, verify, or recover the binary segment store
 //	report     personalized evolution digest for a user
 //	summarize  relevance-based schema summary of one version
 //	serve      run the HTTP evolution service over stored datasets
@@ -78,7 +78,7 @@ subcommands:
   recommend  recommend measures for a user's interests
   trend      analyze change trends over a chain of versions
   archive    pack/unpack versions under an archiving policy
-  store      pack versions into / inspect the binary segment store
+  store      pack, inspect, verify, or recover the binary segment store
   report     personalized evolution digest for a user
   summarize  relevance-based schema summary of one version
   serve      run the HTTP evolution service over stored datasets

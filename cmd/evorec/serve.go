@@ -101,7 +101,19 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: evorec.NewHTTPServer(svc)}
+	// Server-side timeouts keep one slow or stalled client from pinning a
+	// connection (and its handler goroutine) forever: headers must arrive
+	// promptly, a whole request body within ReadTimeout (commit bodies are
+	// bounded at 128 MiB, well within it on any practical link), and
+	// responses must be consumed. Idle keep-alive connections are recycled.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           evorec.NewHTTPServer(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("evorec service listening on http://%s/v1/datasets\n", *addr)
@@ -117,15 +129,16 @@ func cmdServe(args []string) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		// Flush what we can even when the drain timed out.
-		if ferr := svc.FlushFeeds(); ferr != nil {
-			return errors.Join(err, ferr)
+		// Persist what we can even when the drain timed out: Close drains the
+		// commit queues, checkpoints every store's WAL and flushes the feeds.
+		if cerr := svc.Close(); cerr != nil {
+			return errors.Join(err, cerr)
 		}
 		return err
 	}
-	if err := svc.FlushFeeds(); err != nil {
+	if err := svc.Close(); err != nil {
 		return err
 	}
-	fmt.Println("evorec: feed logs flushed, bye")
+	fmt.Println("evorec: stores checkpointed, feed logs flushed, bye")
 	return nil
 }

@@ -572,6 +572,38 @@ func StoreDiskUsage(dir string, man *StoreManifest) (int64, error) {
 	return store.DiskUsage(dir, man)
 }
 
+// StoreVerifyReport is the result of VerifyStore.
+type StoreVerifyReport = store.VerifyReport
+
+// StoreRecoverPlan is the result of PlanStoreRecovery.
+type StoreRecoverPlan = store.RecoverPlan
+
+// StoreWALRecordInfo is one WAL record's replay fate.
+type StoreWALRecordInfo = store.WALRecordInfo
+
+// WAL record replay statuses.
+const (
+	StoreWALApplied    = store.WALApplied
+	StoreWALReplayable = store.WALReplayable
+	StoreWALOrphaned   = store.WALOrphaned
+)
+
+// VerifyStore checks every durability invariant of a store directory —
+// segment framing and checksums, chain contiguity, dictionary coverage,
+// WAL replayability — without materializing a graph or writing a byte.
+func VerifyStore(dir string) (*StoreVerifyReport, error) { return store.Verify(dir) }
+
+// PlanStoreRecovery simulates what opening the store would replay from its
+// write-ahead log, read-only.
+func PlanStoreRecovery(dir string) (*StoreRecoverPlan, error) { return store.PlanRecovery(dir) }
+
+// FeedVerifyInfo is the result of VerifyFeedDir.
+type FeedVerifyInfo = feed.VerifyInfo
+
+// VerifyFeedDir strictly loads a persisted feed directory (registry, logs,
+// fan-out ledger) and summarizes it; any corruption is the returned error.
+func VerifyFeedDir(dir string) (*FeedVerifyInfo, error) { return feed.Verify(dir) }
+
 // ---------------------------------------------------------------------------
 // Extended measures and explanations
 
@@ -716,6 +748,8 @@ var (
 	ErrUnknownVersion   = service.ErrUnknownVersion
 	ErrDuplicateVersion = service.ErrDuplicateVersion
 	ErrDuplicateDataset = service.ErrDuplicateDataset
+	ErrCommitBusy       = service.ErrCommitBusy
+	ErrDatasetClosed    = service.ErrDatasetClosed
 )
 
 // NewService returns an empty dataset registry.

@@ -22,8 +22,8 @@
 //
 // Durability (Config.Dir != ""): the registry and each user's log persist
 // as framed segments (internal/store's magic/CRC envelope, temp-file +
-// rename) under a JSON manifest written last — the same crash discipline as
-// the binary version store. A kill between a segment write and the manifest
+// fsync + rename + directory fsync) under a JSON manifest written last —
+// the same crash discipline as the binary version store. A kill between a segment write and the manifest
 // update leaves the manifest recording fewer entries than the segment
 // holds; Open tolerates that superset, so no acknowledged notification is
 // lost. See DESIGN.md §8.
@@ -39,6 +39,7 @@ import (
 	"evorec/internal/core"
 	"evorec/internal/profile"
 	"evorec/internal/rdf"
+	"evorec/internal/store/vfs"
 )
 
 // Defaults for the zero Config values.
@@ -65,6 +66,10 @@ var ErrUnknownSubscriber = errors.New("feed: unknown subscriber")
 type Config struct {
 	// Dir roots the feed's persistence; "" keeps everything in memory.
 	Dir string
+	// FS is the filesystem the feed persists through; nil means the real
+	// one. The crash-recovery tests inject a fault-injecting in-memory
+	// filesystem here.
+	FS vfs.FS
 	// Workers bounds the fan-out worker pool (default DefaultWorkers).
 	Workers int
 	// MaxLog is the per-user retained entry count (default DefaultMaxLog).
@@ -122,6 +127,7 @@ type donePair struct{ older, newer string }
 // feed logs of one dataset. All methods are safe for concurrent use.
 type Feed struct {
 	dir       string
+	fsys      vfs.FS
 	workers   int
 	maxLog    int
 	threshold float64
@@ -159,8 +165,12 @@ func Open(cfg Config) (*Feed, error) {
 	if cfg.K <= 0 {
 		cfg.K = DefaultK
 	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS{}
+	}
 	f := &Feed{
 		dir:       cfg.Dir,
+		fsys:      cfg.FS,
 		workers:   cfg.Workers,
 		maxLog:    cfg.MaxLog,
 		threshold: cfg.Threshold,

@@ -64,10 +64,10 @@ func (f *Feed) load() error {
 	if f.dir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+	if err := f.fsys.MkdirAll(f.dir, 0o755); err != nil {
 		return fmt.Errorf("feed: creating %s: %w", f.dir, err)
 	}
-	data, err := os.ReadFile(filepath.Join(f.dir, manifestName))
+	data, err := f.fsys.ReadFile(filepath.Join(f.dir, manifestName))
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -85,7 +85,7 @@ func (f *Feed) load() error {
 		if !store.ValidSegmentFileName(man.Subscribers.File) {
 			return fmt.Errorf("feed: subscriber file %q escapes the feed directory", man.Subscribers.File)
 		}
-		payload, err := store.ReadKindedSegment(f.dir, man.Subscribers.File, store.KindSubscribers)
+		payload, err := store.ReadKindedSegmentFS(f.fsys, f.dir, man.Subscribers.File, store.KindSubscribers)
 		if err != nil {
 			return err
 		}
@@ -109,7 +109,7 @@ func (f *Feed) load() error {
 		if _, dup := f.logs[ref.User]; dup {
 			return fmt.Errorf("feed: duplicate log for user %q in manifest", ref.User)
 		}
-		payload, err := store.ReadKindedSegment(f.dir, ref.File, store.KindFeedLog)
+		payload, err := store.ReadKindedSegmentFS(f.fsys, f.dir, ref.File, store.KindFeedLog)
 		if err != nil {
 			return err
 		}
@@ -188,8 +188,8 @@ func (f *Feed) persistSubscribersLocked() error {
 // writeSubscribersLocked writes the subscriber segment and records its
 // framed size for the manifest.
 func (f *Feed) writeSubscribersLocked() error {
-	size, err := store.WriteKindedSegment(filepath.Join(f.dir, subsFileName),
-		store.KindSubscribers, appendSubscribers(nil, f.subs))
+	size, err := store.WriteKindedSegmentFS(f.fsys, filepath.Join(f.dir, subsFileName),
+		store.KindSubscribers, appendSubscribers(nil, f.subs), true)
 	if err != nil {
 		return fmt.Errorf("feed: writing subscribers: %w", err)
 	}
@@ -223,8 +223,8 @@ func (f *Feed) writeLogLocked(user string) error {
 		m = &logMeta{file: f.newLogFileLocked()}
 		f.meta[user] = m
 	}
-	size, err := store.WriteKindedSegment(filepath.Join(f.dir, m.file),
-		store.KindFeedLog, appendFeedLog(nil, user, lg.next, lg.entries))
+	size, err := store.WriteKindedSegmentFS(f.fsys, filepath.Join(f.dir, m.file),
+		store.KindFeedLog, appendFeedLog(nil, user, lg.next, lg.entries), true)
 	if err != nil {
 		return fmt.Errorf("feed: writing log for %q: %w", user, err)
 	}
@@ -266,7 +266,7 @@ func (f *Feed) writeManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("feed: encoding manifest: %w", err)
 	}
-	if err := store.WriteFileAtomic(filepath.Join(f.dir, manifestName), data); err != nil {
+	if err := store.WriteFileAtomicFS(f.fsys, filepath.Join(f.dir, manifestName), data, true); err != nil {
 		return fmt.Errorf("feed: writing manifest: %w", err)
 	}
 	return nil

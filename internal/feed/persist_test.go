@@ -1,0 +1,147 @@
+package feed
+
+// Crash-window tests for the feed's persisted segments, extending the
+// store's TestStoreOpenToleratesSupersetDict pattern to the feed segment
+// kinds: a kill between a segment write and the manifest update leaves the
+// segment holding MORE than the manifest records, and the segment is the
+// truth. The inverse (segment holding less) is real corruption and must
+// refuse to load.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evorec/internal/core"
+	"evorec/internal/profile"
+	"evorec/internal/rdf"
+	"evorec/internal/store"
+	"evorec/internal/store/vfs"
+)
+
+func iri(s string) rdf.Term { return rdf.Term{Kind: rdf.IRI, Value: s} }
+
+// writeFeedDir lays out a feed directory by hand on fsys: a subscriber
+// segment holding subs, one log segment for user, and a manifest as given.
+func writeFeedDir(t *testing.T, fsys vfs.FS, dir string, subs map[string]*profile.Profile, user string, entries []Entry, man manifest) {
+	t.Helper()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.WriteKindedSegmentFS(fsys, filepath.Join(dir, subsFileName),
+		store.KindSubscribers, appendSubscribers(nil, subs), true); err != nil {
+		t.Fatal(err)
+	}
+	if user != "" {
+		next := uint64(1)
+		if n := len(entries); n > 0 {
+			next = entries[n-1].Cursor + 1
+		}
+		if _, err := store.WriteKindedSegmentFS(fsys, filepath.Join(dir, "log00001.feed"),
+			store.KindFeedLog, appendFeedLog(nil, user, next, entries), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFileAtomicFS(fsys, filepath.Join(dir, manifestName), data, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testEntries(user string, n int) []Entry {
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Entry{
+			Cursor: uint64(i + 1),
+			Note: core.Notification{
+				UserID: user, OlderID: "v1", NewerID: "v2",
+				MeasureID: "weighted_overlap", Relatedness: 0.5, Reason: "test",
+			},
+		})
+	}
+	return out
+}
+
+// TestFeedOpenToleratesSupersetSegments kills the process between the
+// segment writes and the manifest update: both segment kinds then hold a
+// superset of what the manifest records, and Open must trust the segments.
+func TestFeedOpenToleratesSupersetSegments(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	dir := "feed"
+	alice, bob := profile.New("alice"), profile.New("bob")
+	alice.SetInterest(iri("http://example.org/a"), 1)
+	bob.SetInterest(iri("http://example.org/b"), 1)
+	subs := map[string]*profile.Profile{"alice": alice, "bob": bob}
+	entries := testEntries("alice", 2)
+	// The manifest predates the crash window: it knows one subscriber and
+	// one log entry, while the segments hold two of each.
+	man := manifest{
+		Format:      FormatV1,
+		Subscribers: &segRef{File: subsFileName, Bytes: 1, Count: 1},
+		Logs:        []logRef{{User: "alice", File: "log00001.feed", Bytes: 1, Entries: 1, Last: 1}},
+	}
+	writeFeedDir(t, fsys, dir, subs, "alice", entries, man)
+
+	f, err := Open(Config{Dir: dir, FS: fsys})
+	if err != nil {
+		t.Fatalf("opening feed with superset segments: %v", err)
+	}
+	if got := f.Len(); got != 2 {
+		t.Errorf("loaded %d subscribers, want 2 (segment is the truth, not the manifest count)", got)
+	}
+	got, next, err := f.Poll("alice", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || next != 2 {
+		t.Errorf("Poll = %d entries next %d, want 2 entries next 2 (superset log entries must survive)", len(got), next)
+	}
+	// The extra state must persist forward: a subscriber update rewrites
+	// the registry from the loaded (superset) state, and a reopen sees it.
+	carol := profile.New("carol")
+	carol.SetInterest(iri("http://example.org/c"), 1)
+	if _, _, err := f.Subscribe(carol); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(Config{Dir: dir, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Len(); got != 3 {
+		t.Errorf("after resubscribe+reopen, %d subscribers, want 3", got)
+	}
+}
+
+// TestFeedOpenRejectsSubsetSegments: a manifest recording more than the
+// segment holds cannot come from the crash window (segments land before the
+// manifest) — it is corruption and must refuse to load.
+func TestFeedOpenRejectsSubsetSegments(t *testing.T) {
+	t.Run("log entries behind manifest", func(t *testing.T) {
+		fsys := vfs.NewMemFS()
+		man := manifest{
+			Format: FormatV1,
+			Logs:   []logRef{{User: "alice", File: "log00001.feed", Bytes: 1, Entries: 3, Last: 3}},
+		}
+		writeFeedDir(t, fsys, "feed", nil, "alice", testEntries("alice", 2), man)
+		_, err := Open(Config{Dir: "feed", FS: fsys})
+		if err == nil || !strings.Contains(err.Error(), "entries") {
+			t.Fatalf("opening log subset = %v, want entry-count error", err)
+		}
+	})
+	t.Run("cursor behind manifest", func(t *testing.T) {
+		fsys := vfs.NewMemFS()
+		man := manifest{
+			Format: FormatV1,
+			Logs:   []logRef{{User: "alice", File: "log00001.feed", Bytes: 1, Entries: 2, Last: 9}},
+		}
+		writeFeedDir(t, fsys, "feed", nil, "alice", testEntries("alice", 2), man)
+		_, err := Open(Config{Dir: "feed", FS: fsys})
+		if err == nil || !strings.Contains(err.Error(), "cursor") {
+			t.Fatalf("opening stale-cursor log = %v, want cursor error", err)
+		}
+	})
+}

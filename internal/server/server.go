@@ -87,8 +87,16 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds is the back-off hint sent with 503 responses when a
+// dataset's group-commit queue is saturated: long enough for the committer
+// to drain a full queue against a spinning disk, short enough that clients
+// resume quickly once the burst passes.
+const retryAfterSeconds = 1
+
 // writeErr maps service sentinel errors to HTTP statuses; everything else
-// (malformed input wrapped by the handlers) is a 400.
+// (malformed input wrapped by the handlers) is a 400. Overload and shutdown
+// (ErrCommitBusy, ErrDatasetClosed) are 503 with a Retry-After, telling
+// well-behaved clients to back off rather than retry immediately.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
@@ -97,6 +105,9 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, service.ErrDuplicateVersion), errors.Is(err, service.ErrDuplicateDataset):
 		status = http.StatusConflict
+	case errors.Is(err, service.ErrCommitBusy), errors.Is(err, service.ErrDatasetClosed):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

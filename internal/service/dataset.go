@@ -39,6 +39,11 @@ type Dataset struct {
 	// calls FanOut while holding mu's write lock (the feed lock nests
 	// strictly inside mu, never the reverse, so the order is acyclic).
 	feed *feed.Feed
+
+	// committer coalesces concurrent Commit calls into store batches (one
+	// WAL fsync per batch). Its lock nests outside mu: enqueue/drain take
+	// committer.mu only, commitBatch takes mu only.
+	committer committer
 }
 
 // newDataset wires a dataset facade. sds is nil for in-memory datasets; vs,
@@ -64,6 +69,7 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 	}
 	fd, err := feed.Open(feed.Config{
 		Dir:       feedDir,
+		FS:        cfg.fs(),
 		Workers:   cfg.FeedWorkers,
 		Threshold: cfg.FeedThreshold,
 		K:         cfg.FeedK,
@@ -71,7 +77,13 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd}, nil
+	d := &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd}
+	d.committer.max = cfg.CommitQueue
+	if d.committer.max <= 0 {
+		d.committer.max = DefaultCommitQueue
+	}
+	d.committer.cond = sync.NewCond(&d.committer.mu)
+	return d, nil
 }
 
 // Name returns the dataset's registry name.
@@ -340,54 +352,43 @@ type CommitInfo struct {
 // append-only — duplicate IDs are rejected, never replaced — no cached
 // pair can reference the committed ID, so existing pair caches stay valid
 // untouched; a future replace/repair flow would invalidate selectively via
-// the engine's InvalidateVersion hook. The whole commit holds the write
-// lock: the body interns into the dataset's shared dictionary, which
-// concurrent readers are reading. Callers should hand in an in-memory
-// reader (the HTTP layer buffers the network body first) so the lock is
-// not held for a slow upload.
+// the engine's InvalidateVersion hook.
+//
+// Concurrent commits coalesce through the dataset's group committer: the
+// call enqueues and blocks until its commit is durable (or failed), and
+// whatever accumulated in the queue meanwhile is persisted as one store
+// batch behind a single WAL fsync. When the queue is saturated the call
+// fails fast with ErrCommitBusy instead of blocking — the HTTP layer maps
+// that to 503 + Retry-After. Callers should hand in an in-memory reader
+// (the HTTP layer buffers the network body first) so the batch's write-lock
+// hold never spans a slow upload.
 func (d *Dataset) Commit(id string, r io.Reader) (*CommitInfo, error) {
 	if id == "" {
 		return nil, fmt.Errorf("service: version ID must not be empty")
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.hasVersionLocked(id) {
-		return nil, fmt.Errorf("%w: %q in dataset %q", ErrDuplicateVersion, id, d.name)
-	}
-	g := rdf.NewGraphWithDict(d.dictLocked())
-	if err := rdf.ReadNTriplesInto(g, r); err != nil {
-		return nil, fmt.Errorf("service: parsing version %q: %w", id, err)
-	}
-	v := &rdf.Version{ID: id, Graph: g}
-	info := &CommitInfo{ID: id, Triples: g.Len(), Kind: "memory"}
-	prev := d.tailLocked()
-	if d.sds != nil {
-		entry, err := d.sds.Append(v)
-		if err != nil {
-			return nil, err
-		}
-		info.Kind = entry.Kind
-	}
-	if err := d.eng.Ingest(v); err != nil {
+	req := &commitReq{id: id, r: r, done: make(chan commitResult, 1)}
+	if err := d.enqueue(req); err != nil {
 		return nil, err
 	}
-	// Commit-triggered fan-out: evaluate the new consecutive pair once
-	// (which also pre-warms the pair cache for the requests that follow a
-	// commit) and deliver it to the standing subscribers through the
-	// inverted index. With no subscribers the pair build is skipped
-	// entirely, so subscriber-free commits cost what they always did. The
-	// version is durable at this point, so fan-out failures are reported
-	// in FeedError, never as a commit failure — a client must not see
-	// "bad request" for a version that landed.
-	if prev != "" && d.feed.Len() > 0 {
-		if st, ferr := d.fanOutLocked(prev, id); ferr != nil {
-			info.FeedError = ferr.Error()
-			info.Feed = st
-		} else {
-			info.Feed = st
-		}
+	res := <-req.done
+	return res.info, res.err
+}
+
+// Close drains the dataset's committer, checkpoints and closes the backing
+// store (making every acknowledged commit durable and truncating its WAL),
+// and flushes the feed. The dataset must not be used afterwards.
+func (d *Dataset) Close() error {
+	d.committer.close()
+	var err error
+	d.mu.Lock()
+	if d.sds != nil {
+		err = d.sds.Close()
 	}
-	return info, nil
+	d.mu.Unlock()
+	if ferr := d.feed.Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // fanOutLocked builds the pair's items and fans them out through the

@@ -37,6 +37,7 @@ import (
 	"evorec/internal/measures"
 	"evorec/internal/rdf"
 	"evorec/internal/store"
+	"evorec/internal/store/vfs"
 )
 
 // Sentinel errors the HTTP layer maps to statuses.
@@ -53,6 +54,13 @@ var (
 	// no retained feed log (re-exported from the feed subsystem so HTTP
 	// handlers map one sentinel set).
 	ErrUnknownSubscriber = feed.ErrUnknownSubscriber
+	// ErrCommitBusy reports a commit refused because the dataset's group-
+	// commit queue is saturated; the HTTP layer maps it to 503 with a
+	// Retry-After so clients back off instead of piling on.
+	ErrCommitBusy = errors.New("service: commit queue saturated")
+	// ErrDatasetClosed reports an operation against a dataset whose service
+	// is shutting down.
+	ErrDatasetClosed = errors.New("service: dataset closed")
 )
 
 // Config parameterizes a Service. The zero value is usable.
@@ -84,6 +92,21 @@ type Config struct {
 	// FeedK caps notifications per subscriber per commit; zero keeps
 	// feed.DefaultK.
 	FeedK int
+	// FS is the filesystem disk-backed datasets and feeds persist through;
+	// nil means the real filesystem. The crash-recovery tests inject a
+	// fault-injecting in-memory filesystem here.
+	FS vfs.FS
+	// CommitQueue bounds each dataset's group-commit queue; beyond it
+	// Commit fails fast with ErrCommitBusy. Zero keeps DefaultCommitQueue.
+	CommitQueue int
+}
+
+// fs resolves the configured filesystem, defaulting to the real one.
+func (c Config) fs() vfs.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return vfs.OS{}
 }
 
 // Service is the multi-dataset registry. All methods are safe for
@@ -123,7 +146,7 @@ func (s *Service) register(name string, build func() (*Dataset, error)) (*Datase
 // directory.
 func (s *Service) Open(name, dir string) (*Dataset, error) {
 	return s.register(name, func() (*Dataset, error) {
-		sds, err := store.Open(dir)
+		sds, err := store.OpenFS(s.cfg.fs(), dir)
 		if err != nil {
 			return nil, err
 		}
@@ -199,6 +222,23 @@ func (s *Service) FlushFeeds() error {
 		}
 		if err := d.feed.Flush(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("flushing feed of dataset %q: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// Close shuts every dataset down: commit queues drain, backing stores
+// checkpoint (absorbing their WALs) and close, feeds flush. The service
+// must not be used afterwards; late commits fail with ErrDatasetClosed.
+func (s *Service) Close() error {
+	var firstErr error
+	for _, name := range s.Names() {
+		d, err := s.Get(name)
+		if err != nil {
+			continue
+		}
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("closing dataset %q: %w", name, err)
 		}
 	}
 	return firstErr

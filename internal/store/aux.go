@@ -1,12 +1,15 @@
 package store
 
+import "evorec/internal/store/vfs"
+
 // Auxiliary segment kinds. The dictionary/snapshot/delta kinds (1-3) belong
-// to the version chain; the kinds below frame the feed subsystem's files
-// (internal/feed) in the same magic/length/CRC32 envelope, so every durable
-// byte in an evorec data directory rejects truncation and corruption the
-// same way. The framing helpers are exported for exactly that reuse — the
-// payload codecs stay with their owning packages to keep layering intact
-// (store knows triples, not subscribers).
+// to the version chain and kind 6 to its write-ahead log; the kinds below
+// frame the feed subsystem's files (internal/feed) in the same
+// magic/length/CRC32 envelope, so every durable byte in an evorec data
+// directory rejects truncation and corruption the same way. The framing
+// helpers are exported for exactly that reuse — the payload codecs stay with
+// their owning packages to keep layering intact (store knows triples, not
+// subscribers).
 const (
 	// KindFeedLog frames one user's feed log (internal/feed).
 	KindFeedLog byte = 4
@@ -15,16 +18,30 @@ const (
 )
 
 // WriteKindedSegment frames payload under the given segment kind and writes
-// it to path via a temp file + rename, returning the framed size. A crash
-// mid-write never leaves a torn file under the final name.
+// it to path on the real filesystem with full durability (temp fsync,
+// rename, directory fsync): a crash never leaves a torn file under the
+// final name, and the rename itself survives power loss.
 func WriteKindedSegment(path string, kind byte, payload []byte) (int64, error) {
-	return writeSegment(path, kind, payload)
+	return WriteKindedSegmentFS(vfs.OS{}, path, kind, payload, true)
+}
+
+// WriteKindedSegmentFS is WriteKindedSegment on an explicit filesystem.
+// With durable unset the write is still atomic (temp + rename) but carries
+// no fsync — the caller owes a later SyncPath + SyncDir before relying on
+// the bytes across a crash.
+func WriteKindedSegmentFS(fsys vfs.FS, path string, kind byte, payload []byte, durable bool) (int64, error) {
+	return writeSegment(fsys, path, kind, payload, durable)
 }
 
 // ReadKindedSegment reads dir/file and unframes it, validating magic, kind,
 // exact length and checksum.
 func ReadKindedSegment(dir, file string, kind byte) ([]byte, error) {
-	return readSegment(dir, file, kind)
+	return ReadKindedSegmentFS(vfs.OS{}, dir, file, kind)
+}
+
+// ReadKindedSegmentFS is ReadKindedSegment on an explicit filesystem.
+func ReadKindedSegmentFS(fsys vfs.FS, dir, file string, kind byte) ([]byte, error) {
+	return readSegment(fsys, dir, file, kind)
 }
 
 // EncodeKindedSegment frames payload in memory — what WriteKindedSegment
@@ -40,11 +57,17 @@ func DecodeKindedSegment(name string, data []byte, kind byte) ([]byte, error) {
 	return decodeSegment(name, data, kind)
 }
 
-// WriteFileAtomic writes data to path through a sibling temp file + rename,
-// the same all-or-nothing discipline every store file lands with. The feed
-// manifest uses it so its commit point is a single rename.
+// WriteFileAtomic writes data to path through a sibling temp file + rename
+// with full durability, the same all-or-nothing discipline every store file
+// lands with. The feed manifest uses it so its commit point is a single
+// rename that survives a crash.
 func WriteFileAtomic(path string, data []byte) error {
-	return writeFileAtomic(path, data)
+	return vfs.WriteFileAtomic(vfs.OS{}, path, data, true)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic on an explicit filesystem.
+func WriteFileAtomicFS(fsys vfs.FS, path string, data []byte, durable bool) error {
+	return vfs.WriteFileAtomic(fsys, path, data, durable)
 }
 
 // ValidSegmentFileName reports whether name is a plain file name that

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"evorec/internal/rdf"
+	"evorec/internal/store/vfs"
 )
 
 // DefaultCacheCap is the Dataset's default LRU capacity: big enough to make
@@ -20,22 +21,47 @@ const DefaultCacheCap = 4
 // Graphs returned by Graph/GraphAt share the dataset's Dict and are cached;
 // treat them as immutable (the VersionStore convention). A Dataset is not
 // safe for concurrent use.
+//
+// Once any write-path operation fails, the handle is poisoned: every further
+// Append/Checkpoint returns the original error (reads keep working from
+// memory). A half-applied commit must not be built upon — reopening the
+// directory runs WAL recovery and yields a clean handle.
 type Dataset struct {
 	dir  string
+	fsys vfs.FS
 	man  *Manifest
 	dict *rdf.Dict
 	idx  map[string]int
 	lru  lruCache
+
+	wal *wal
+	// pending holds segment paths written since the last checkpoint, still
+	// owed an fsync before the manifest may reference them durably.
+	pending map[string]bool
+	// dictCovered is the dictionary watermark already durable or WAL-logged.
+	// Terms above it exist only in memory (graphs sharing the dict may intern
+	// between Appends), so the next WAL record's tail starts here — not at
+	// the dict size when Append happens to run.
+	dictCovered int
+	failed      error
 }
 
 // Open reads dir's manifest and dictionary segment and returns a lazy
-// dataset handle with the default cache capacity.
-func Open(dir string) (*Dataset, error) {
-	man, err := readManifest(dir)
+// dataset handle with the default cache capacity. It is OpenFS on the real
+// filesystem.
+func Open(dir string) (*Dataset, error) { return OpenFS(vfs.OS{}, dir) }
+
+// OpenFS opens the store at dir on the given filesystem. Any WAL tail past
+// the manifest is replayed: commits acknowledged before a crash but never
+// checkpointed are re-applied (segments rewritten, dictionary re-interned,
+// manifest rebuilt) and the store checkpointed, so the handle always starts
+// from a durable, WAL-empty state.
+func OpenFS(fsys vfs.FS, dir string) (*Dataset, error) {
+	man, err := readManifest(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := readSegment(dir, man.Dict.File, kindDict)
+	payload, err := readSegment(fsys, dir, man.Dict.File, kindDict)
 	if err != nil {
 		return nil, err
 	}
@@ -43,12 +69,12 @@ func Open(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The dictionary may hold MORE terms than the manifest records: Append
-	// renames the rewritten dict segment into place before the manifest, so
-	// a crash between the two leaves a superset dictionary under the old
-	// manifest — harmless, since IDs are append-only and every decoder
-	// bounds-checks against the dictionary it was handed. Fewer terms than
-	// recorded means real corruption.
+	// The dictionary may hold MORE terms than the manifest records: a crash
+	// between the checkpoint's dict-segment rename and its manifest write
+	// leaves a superset dictionary under the old manifest — harmless, since
+	// IDs are append-only and every decoder bounds-checks against the
+	// dictionary it was handed. Fewer terms than recorded means real
+	// corruption.
 	if dict.Len()-1 < man.Terms {
 		return nil, fmt.Errorf("store: dictionary has %d terms, manifest says %d",
 			dict.Len()-1, man.Terms)
@@ -60,13 +86,187 @@ func Open(dir string) (*Dataset, error) {
 		}
 		idx[e.ID] = i
 	}
-	return &Dataset{
-		dir:  dir,
-		man:  man,
-		dict: dict,
-		idx:  idx,
-		lru:  lruCache{cap: DefaultCacheCap},
-	}, nil
+	ds := &Dataset{
+		dir:     dir,
+		fsys:    fsys,
+		man:     man,
+		dict:    dict,
+		idx:     idx,
+		lru:     lruCache{cap: DefaultCacheCap},
+		wal:     &wal{fsys: fsys, dir: dir},
+		pending: make(map[string]bool),
+	}
+	// Everything in the loaded dictionary is durable (the dict segment is
+	// only ever written with full fsync discipline); replay may raise the
+	// watermark further as it re-interns record tails.
+	ds.dictCovered = dict.Len() - 1
+	if err := ds.replayWAL(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// replayWAL applies the WAL's readable records past the manifest, then
+// checkpoints. Records whose version the manifest already holds were applied
+// before the crash and are skipped; a record whose parent is not the current
+// chain tail ends replay (the durable state never reached it).
+func (ds *Dataset) replayWAL() error {
+	data, err := ds.wal.read()
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	recs, _, err := scanWAL(data)
+	if err != nil {
+		return err
+	}
+	applied := 0
+	for _, rec := range recs {
+		ds.wal.seq = rec.seq
+		if _, done := ds.idx[rec.id]; done {
+			continue
+		}
+		tail := ""
+		if n := len(ds.man.Entries); n > 0 {
+			tail = ds.man.Entries[n-1].ID
+		}
+		if rec.parent != tail {
+			break
+		}
+		if err := ds.applyWALRecord(rec); err != nil {
+			return err
+		}
+		applied++
+	}
+	if applied == 0 && len(recs) == 0 {
+		// Pure torn tail: nothing readable, nothing to redo. Leave the file
+		// for the first append's reset.
+		return nil
+	}
+	// Everything readable is applied (or was already durable): make it all
+	// durable and truncate the log.
+	return ds.checkpoint()
+}
+
+// applyWALRecord redoes one commit from its WAL record: re-interns the
+// record's dictionary tail (verifying the IDs land exactly where the writer
+// assigned them), validates the segment payload, writes the segment file,
+// and extends the in-memory manifest.
+func (ds *Dataset) applyWALRecord(rec *walRecord) error {
+	if rec.dictBase > ds.dict.Len()-1 {
+		return fmt.Errorf("store: WAL record %q: dictionary base %d past dictionary size %d",
+			rec.id, rec.dictBase, ds.dict.Len()-1)
+	}
+	for j, t := range rec.dictTail {
+		want := rdf.TermID(rec.dictBase + 1 + j)
+		if got := ds.dict.Intern(t); got != want {
+			return fmt.Errorf("store: WAL record %q: dictionary tail term %d interned as ID %d, want %d",
+				rec.id, j, got, want)
+		}
+	}
+	if covered := rec.dictBase + len(rec.dictTail); covered > ds.dictCovered {
+		ds.dictCovered = covered
+	}
+	e := Entry{ID: rec.id}
+	var err error
+	switch rec.segKind {
+	case kindSnapshot:
+		e.Kind = kindNameSnapshot
+		e.File = rec.id + ".snap"
+		e.Triples, err = decodeSnapshot(e.File, rec.payload, ds.dict.Len(), func(rdf.IDTriple) {})
+	case kindDelta:
+		e.Kind = kindNameDelta
+		e.File = rec.id + ".delta"
+		e.Added, e.Deleted, err = decodeDelta(e.File, rec.payload, ds.dict.Len(),
+			func(rdf.IDTriple) {}, func(rdf.IDTriple) {})
+	}
+	if err != nil {
+		return fmt.Errorf("store: WAL record %q: %w", rec.id, err)
+	}
+	if !validFileName(e.File) {
+		return fmt.Errorf("store: WAL record ID %q cannot name a segment file", rec.id)
+	}
+	path := joinPath(ds.dir, e.File)
+	if e.Bytes, err = writeSegment(ds.fsys, path, rec.segKind, rec.payload, false); err != nil {
+		return err
+	}
+	ds.pending[path] = true
+	ds.idx[rec.id] = len(ds.man.Entries)
+	ds.man.Entries = append(ds.man.Entries, e)
+	return nil
+}
+
+// Checkpoint makes every commit since the last checkpoint durable and
+// truncates the WAL: pending segments are fsynced, the directory synced so
+// their names hold, the dictionary segment rewritten durably, and the
+// manifest — the commit point — written with the full fsync discipline.
+// After a clean checkpoint the WAL is redundant and reset. Idempotent and
+// cheap when nothing is outstanding.
+func (ds *Dataset) Checkpoint() error {
+	if ds.failed != nil {
+		return ds.failed
+	}
+	if len(ds.pending) == 0 && ds.wal.size == 0 {
+		return nil
+	}
+	if err := ds.checkpoint(); err != nil {
+		ds.fail(err)
+		return err
+	}
+	return nil
+}
+
+func (ds *Dataset) checkpoint() error {
+	for path := range ds.pending {
+		if err := ds.fsys.SyncPath(path); err != nil {
+			return fmt.Errorf("store: syncing segment %s: %w", path, err)
+		}
+	}
+	if err := ds.fsys.SyncDir(ds.dir); err != nil {
+		return fmt.Errorf("store: syncing store directory: %w", err)
+	}
+	dictBytes, err := writeSegment(ds.fsys, joinPath(ds.dir, ds.man.Dict.File), kindDict,
+		appendDict(nil, ds.dict), true)
+	if err != nil {
+		return err
+	}
+	man := *ds.man
+	man.Entries = append([]Entry(nil), ds.man.Entries...)
+	man.Terms = ds.dict.Len() - 1
+	man.Dict.Bytes = dictBytes
+	if err := writeManifest(ds.fsys, ds.dir, &man, true); err != nil {
+		return err
+	}
+	ds.man = &man
+	ds.pending = make(map[string]bool)
+	return ds.wal.reset()
+}
+
+// WALSize reports the write-ahead log's current byte size — what the next
+// checkpoint will absorb. Service layers use it to pace background
+// checkpoints.
+func (ds *Dataset) WALSize() int64 { return ds.wal.size }
+
+// Close checkpoints outstanding commits (unless the handle is poisoned) and
+// releases the WAL handle. The dataset must not be used afterwards.
+func (ds *Dataset) Close() error {
+	var err error
+	if ds.failed == nil && (len(ds.pending) > 0 || ds.wal.size > 0) {
+		err = ds.Checkpoint()
+	}
+	if cerr := ds.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fail poisons the handle after a write-path error.
+func (ds *Dataset) fail(err error) {
+	if ds.failed == nil {
+		ds.failed = fmt.Errorf("store: dataset %s failed, reopen to recover: %w", ds.dir, err)
+	}
 }
 
 // SetCacheCap resizes the graph LRU, evicting down if needed. Capacities
@@ -165,7 +365,7 @@ func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
 // sharing the dataset dictionary.
 func (ds *Dataset) loadSnapshot(i int) (*rdf.Graph, error) {
 	e := ds.man.Entries[i]
-	payload, err := readSegment(ds.dir, e.File, kindSnapshot)
+	payload, err := readSegment(ds.fsys, ds.dir, e.File, kindSnapshot)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +390,7 @@ func (ds *Dataset) loadSnapshot(i int) (*rdf.Graph, error) {
 // applied before additions, matching delta.Delta.Apply.
 func (ds *Dataset) applyDelta(i int, g *rdf.Graph) error {
 	e := ds.man.Entries[i]
-	payload, err := readSegment(ds.dir, e.File, kindDelta)
+	payload, err := readSegment(ds.fsys, ds.dir, e.File, kindDelta)
 	if err != nil {
 		return err
 	}

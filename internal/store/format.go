@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 
 	"evorec/internal/rdf"
+	"evorec/internal/store/vfs"
 )
 
 // Segment framing. Every segment file is
@@ -69,13 +69,16 @@ func segmentError(file, msg string) error {
 // writeSegment frames payload and writes it to path, returning the file
 // size. The write goes through a temp file plus rename, so a crash
 // mid-write can never leave a torn segment under the final name — Append
-// rewrites the live dictionary segment in place and relies on this.
-func writeSegment(path string, kind byte, payload []byte) (int64, error) {
+// rewrites the live dictionary segment in place and relies on this. With
+// durable set the temp file is fsynced before the rename and the directory
+// after it; without it the caller owes a later SyncPath+SyncDir (the
+// WAL-checkpoint pattern) before the bytes may be relied on across a crash.
+func writeSegment(fsys vfs.FS, path string, kind byte, payload []byte, durable bool) (int64, error) {
 	if uint64(len(payload)) > math.MaxUint32 {
 		return 0, fmt.Errorf("store: segment payload %d bytes exceeds the 4 GiB format limit", len(payload))
 	}
 	buf := appendFramed(make([]byte, 0, segHeaderLen+len(payload)+segTrailerLen), kind, payload)
-	if err := writeFileAtomic(path, buf); err != nil {
+	if err := vfs.WriteFileAtomic(fsys, path, buf, durable); err != nil {
 		return 0, fmt.Errorf("store: writing segment: %w", err)
 	}
 	return int64(len(buf)), nil
@@ -90,24 +93,10 @@ func appendFramed(buf []byte, kind byte, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 }
 
-// writeFileAtomic writes data to a sibling temp file and renames it over
-// path, so readers see either the old contents or the new, never a tear.
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
-}
-
 // readSegment reads and unframes the segment at dir/file, validating magic,
 // kind, exact length, and checksum.
-func readSegment(dir, file string, wantKind byte) ([]byte, error) {
-	data, err := os.ReadFile(joinPath(dir, file))
+func readSegment(fsys vfs.FS, dir, file string, wantKind byte) ([]byte, error) {
+	data, err := fsys.ReadFile(joinPath(dir, file))
 	if err != nil {
 		return nil, fmt.Errorf("store: reading segment: %w", err)
 	}
@@ -202,25 +191,63 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// appendDictEntry serializes one dictionary term in the tagged entry
+// format shared by the dict segment and WAL-record dict tails.
+func appendDictEntry(buf []byte, t rdf.Term) []byte {
+	tag := byte(t.Kind)
+	if t.Datatype != "" {
+		tag |= tagDatatype
+	}
+	if t.Lang != "" {
+		tag |= tagLang
+	}
+	buf = append(buf, tag)
+	buf = appendString(buf, t.Value)
+	if t.Datatype != "" {
+		buf = appendString(buf, t.Datatype)
+	}
+	if t.Lang != "" {
+		buf = appendString(buf, t.Lang)
+	}
+	return buf
+}
+
+// decodeDictEntry reads one tagged dictionary entry. i labels errors with
+// the entry's position.
+func (r *byteReader) decodeDictEntry(i int) (rdf.Term, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	kind := rdf.Kind(tag & tagKindMask)
+	if tag&^byte(tagValidBits) != 0 || kind == rdf.Any || kind > rdf.Literal {
+		return rdf.Term{}, r.errf("term %d: invalid tag 0x%02x", i+1, tag)
+	}
+	if kind != rdf.Literal && tag&(tagDatatype|tagLang) != 0 {
+		return rdf.Term{}, r.errf("term %d: datatype/lang flags on non-literal", i+1)
+	}
+	t := rdf.Term{Kind: kind}
+	if t.Value, err = r.stringField("value"); err != nil {
+		return rdf.Term{}, err
+	}
+	if tag&tagDatatype != 0 {
+		if t.Datatype, err = r.stringField("datatype"); err != nil {
+			return rdf.Term{}, err
+		}
+	}
+	if tag&tagLang != 0 {
+		if t.Lang, err = r.stringField("lang"); err != nil {
+			return rdf.Term{}, err
+		}
+	}
+	return t, nil
+}
+
 // appendDict serializes the dictionary's string table in ID order.
 func appendDict(buf []byte, d *rdf.Dict) []byte {
 	buf = binary.AppendUvarint(buf, uint64(d.Len()-1))
 	d.ForEachTerm(func(_ rdf.TermID, t rdf.Term) bool {
-		tag := byte(t.Kind)
-		if t.Datatype != "" {
-			tag |= tagDatatype
-		}
-		if t.Lang != "" {
-			tag |= tagLang
-		}
-		buf = append(buf, tag)
-		buf = appendString(buf, t.Value)
-		if t.Datatype != "" {
-			buf = appendString(buf, t.Datatype)
-		}
-		if t.Lang != "" {
-			buf = appendString(buf, t.Lang)
-		}
+		buf = appendDictEntry(buf, t)
 		return true
 	})
 	return buf
@@ -237,30 +264,9 @@ func decodeDict(file string, payload []byte) (*rdf.Dict, error) {
 	dict := rdf.NewDict()
 	dict.Grow(n)
 	for i := 0; i < n; i++ {
-		tag, err := r.byte()
+		t, err := r.decodeDictEntry(i)
 		if err != nil {
 			return nil, err
-		}
-		kind := rdf.Kind(tag & tagKindMask)
-		if tag&^byte(tagValidBits) != 0 || kind == rdf.Any || kind > rdf.Literal {
-			return nil, r.errf("term %d: invalid tag 0x%02x", i+1, tag)
-		}
-		if kind != rdf.Literal && tag&(tagDatatype|tagLang) != 0 {
-			return nil, r.errf("term %d: datatype/lang flags on non-literal", i+1)
-		}
-		t := rdf.Term{Kind: kind}
-		if t.Value, err = r.stringField("value"); err != nil {
-			return nil, err
-		}
-		if tag&tagDatatype != 0 {
-			if t.Datatype, err = r.stringField("datatype"); err != nil {
-				return nil, err
-			}
-		}
-		if tag&tagLang != 0 {
-			if t.Lang, err = r.stringField("lang"); err != nil {
-				return nil, err
-			}
 		}
 		if got := dict.Intern(t); got != rdf.TermID(i+1) {
 			return nil, r.errf("term %d: duplicate or wildcard entry", i+1)

@@ -2,7 +2,8 @@ package store
 
 import (
 	"fmt"
-	"os"
+
+	"evorec/internal/store/vfs"
 )
 
 // SegmentInfo is one segment's on-disk health as seen by Inspect.
@@ -41,8 +42,11 @@ type Info struct {
 // checksum without materializing any graph. It powers the CLI's
 // "store inspect" subcommand; a segment that fails verification is reported
 // in place, not treated as a fatal error.
-func Inspect(dir string) (*Info, error) {
-	man, err := readManifest(dir)
+func Inspect(dir string) (*Info, error) { return InspectFS(vfs.OS{}, dir) }
+
+// InspectFS is Inspect on an explicit filesystem.
+func InspectFS(fsys vfs.FS, dir string) (*Info, error) {
+	man, err := readManifest(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -52,19 +56,19 @@ func Inspect(dir string) (*Info, error) {
 		Terms:    man.Terms,
 		Versions: len(man.Entries),
 	}
-	if st, err := os.Stat(joinPath(dir, manifestName)); err == nil {
+	if st, err := fsys.Stat(joinPath(dir, manifestName)); err == nil {
 		info.TotalBytes += st.Size()
 	}
 	check := func(file, kindName, id string, kind byte) SegmentInfo {
 		si := SegmentInfo{File: file, Kind: kindName, ID: id}
-		st, err := os.Stat(joinPath(dir, file))
+		st, err := fsys.Stat(joinPath(dir, file))
 		if err != nil {
 			si.Err = fmt.Sprintf("missing: %v", err)
 			return si
 		}
 		si.Bytes = st.Size()
 		info.TotalBytes += st.Size()
-		if _, err := readSegment(dir, file, kind); err != nil {
+		if _, err := readSegment(fsys, dir, file, kind); err != nil {
 			si.Err = err.Error()
 			return si
 		}

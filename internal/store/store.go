@@ -20,12 +20,12 @@ package store
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
 	"evorec/internal/delta"
 	"evorec/internal/rdf"
+	"evorec/internal/store/vfs"
 )
 
 // FormatV1 identifies the segment store's manifest format. archive.Load uses
@@ -149,6 +149,12 @@ func validFileName(name string) bool {
 }
 
 // Save writes the version store to dir under the given policy and returns
+// the manifest. It is SaveFS on the real filesystem.
+func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
+	return SaveFS(vfs.OS{}, dir, vs, opt)
+}
+
+// SaveFS writes the version store to dir under the given policy and returns
 // the manifest. The directory is created if missing; existing store files
 // are overwritten.
 //
@@ -156,7 +162,13 @@ func validFileName(name string) bool {
 // the chain shares it (the normal case: Clone and archive.Load preserve
 // sharing), with foreign-dict graphs re-interned into it transparently. The
 // dictionary segment is written last so late-interned terms are included.
-func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
+//
+// Durability follows the checkpoint pattern: segments land via plain atomic
+// renames, then every segment is fsynced, the directory synced once, and
+// only then is the manifest — the commit point — written durably. A crash
+// anywhere before the manifest rename leaves no manifest (or the previous
+// store) rather than one referencing unsynced segments.
+func SaveFS(fsys vfs.FS, dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 	if vs.Len() == 0 {
 		return nil, fmt.Errorf("store: nothing to save")
 	}
@@ -164,7 +176,7 @@ func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 	if every <= 0 {
 		every = 4
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
 	dict := vs.At(0).Graph.Dict()
@@ -199,7 +211,7 @@ func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 		if !snapshot {
 			kind = kindDelta
 		}
-		size, err := writeSegment(joinPath(dir, e.File), kind, buf)
+		size, err := writeSegment(fsys, joinPath(dir, e.File), kind, buf, false)
 		if err != nil {
 			return nil, err
 		}
@@ -207,28 +219,42 @@ func Save(dir string, vs *rdf.VersionStore, opt Options) (*Manifest, error) {
 		man.Entries = append(man.Entries, e)
 		prev = cur
 	}
-	dictBytes, err := writeSegment(joinPath(dir, dictFileName), kindDict, appendDict(nil, dict))
+	dictBytes, err := writeSegment(fsys, joinPath(dir, dictFileName), kindDict, appendDict(nil, dict), false)
 	if err != nil {
 		return nil, err
 	}
 	man.Terms = dict.Len() - 1
 	man.Dict = Segment{File: dictFileName, Bytes: dictBytes}
-	if err := writeManifest(dir, man); err != nil {
+	// Make every segment durable before the manifest points at it.
+	for _, e := range man.Entries {
+		if err := fsys.SyncPath(joinPath(dir, e.File)); err != nil {
+			return nil, fmt.Errorf("store: syncing segment %s: %w", e.File, err)
+		}
+	}
+	if err := fsys.SyncPath(joinPath(dir, dictFileName)); err != nil {
+		return nil, fmt.Errorf("store: syncing dictionary segment: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, fmt.Errorf("store: syncing store directory: %w", err)
+	}
+	if err := writeManifest(fsys, dir, man, true); err != nil {
 		return nil, err
 	}
 	return man, nil
 }
 
 // writeManifest serializes the manifest as dir/manifest.json. It is the
-// commit point of both Save and Append: segments are written first, so a
-// failure before the manifest lands leaves the previous manifest (or no
-// store) intact, never a manifest referencing missing segments.
-func writeManifest(dir string, man *Manifest) error {
+// commit point of both Save and the Append checkpoint: segments are made
+// durable first, so a failure before the manifest lands leaves the previous
+// manifest (or no store) intact, never a manifest referencing missing
+// segments. With durable set, the write carries the full fsync discipline
+// (temp sync, rename, directory sync).
+func writeManifest(fsys vfs.FS, dir string, man *Manifest, durable bool) error {
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
-	if err := writeFileAtomic(joinPath(dir, manifestName), data); err != nil {
+	if err := vfs.WriteFileAtomic(fsys, joinPath(dir, manifestName), data, durable); err != nil {
 		return fmt.Errorf("store: writing manifest: %w", err)
 	}
 	return nil
@@ -258,8 +284,8 @@ func encodeGraph(dict *rdf.Dict, g *rdf.Graph) []rdf.IDTriple {
 }
 
 // readManifest loads and validates dir's manifest.
-func readManifest(dir string) (*Manifest, error) {
-	data, err := os.ReadFile(joinPath(dir, manifestName))
+func readManifest(fsys vfs.FS, dir string) (*Manifest, error) {
+	data, err := fsys.ReadFile(joinPath(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: reading manifest: %w", err)
 	}
@@ -299,7 +325,7 @@ func DiskUsage(dir string, man *Manifest) (int64, error) {
 	}
 	total := int64(0)
 	for _, name := range files {
-		info, err := os.Stat(joinPath(dir, name))
+		info, err := vfs.OS{}.Stat(joinPath(dir, name))
 		if err != nil {
 			return 0, fmt.Errorf("store: stat %s: %w", name, err)
 		}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"fmt"
+
+	"evorec/internal/store/vfs"
+)
+
+// WALRecordInfo is one WAL record's fate as recovery would decide it.
+type WALRecordInfo struct {
+	// Seq is the record's sequence number; ID and Parent the commit it redoes.
+	Seq        uint64
+	ID, Parent string
+	// Kind is "snapshot" or "delta".
+	Kind string
+	// Terms is how many dictionary terms the record's tail interns.
+	Terms int
+	// Bytes is the segment payload size the record carries.
+	Bytes int
+	// Status is what replay would do with the record: "applied" (the
+	// manifest already holds it), "replayable" (Open would redo it), or
+	// "orphaned" (its parent is not the chain tail replay reaches — the
+	// durable state never saw the sequence it belongs to).
+	Status string
+}
+
+// Replay statuses.
+const (
+	WALApplied    = "applied"
+	WALReplayable = "replayable"
+	WALOrphaned   = "orphaned"
+)
+
+// RecoverPlan is what Open's WAL replay would do to a store directory,
+// computed without writing anything.
+type RecoverPlan struct {
+	// WALBytes is the log's size; TornBytes how much of its tail is
+	// unreadable (the expected residue of a crash mid-append, not a fault).
+	WALBytes, TornBytes int64
+	// Records lists every readable record with its replay fate.
+	Records []WALRecordInfo
+	// Apply is the version IDs replay would append, in order.
+	Apply []string
+	// Tail is the chain tail after replay.
+	Tail string
+}
+
+// VerifyReport is the result of Verify: every durability invariant of a
+// store directory checked read-only.
+type VerifyReport struct {
+	// Info is the manifest/segment view (Inspect's result).
+	Info *Info
+	// Plan is the WAL replay simulation.
+	Plan *RecoverPlan
+	// Problems lists every failed check, empty for a healthy store. A torn
+	// WAL tail and a replayable WAL suffix are NOT problems — they are what
+	// recovery exists for.
+	Problems []string
+}
+
+// OK reports whether the store passed every check.
+func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// Verify walks dir's manifest, segments and WAL, checking CRC32 framing,
+// chain contiguity, dictionary coverage and WAL replayability, without
+// materializing a graph or writing a byte. It powers "evorec store verify".
+func Verify(dir string) (*VerifyReport, error) { return VerifyFS(vfs.OS{}, dir) }
+
+// VerifyFS is Verify on an explicit filesystem.
+func VerifyFS(fsys vfs.FS, dir string) (*VerifyReport, error) {
+	info, err := InspectFS(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{Info: info}
+	problem := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+	for _, s := range info.Segments {
+		if !s.OK {
+			problem("segment %s: %s", s.File, s.Err)
+		}
+	}
+
+	man, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	// Chain contiguity: the chain must start from a snapshot (a delta with
+	// no base is unreplayable) and never repeat a version ID.
+	seen := make(map[string]bool, len(man.Entries))
+	for i, e := range man.Entries {
+		if i == 0 && e.Kind != kindNameSnapshot {
+			problem("chain starts with %s %q — a delta has no base to replay from", e.Kind, e.ID)
+		}
+		if e.Kind != kindNameSnapshot && e.Kind != kindNameDelta {
+			problem("entry %q has unknown kind %q", e.ID, e.Kind)
+		}
+		if seen[e.ID] {
+			problem("version ID %q appears twice in the manifest", e.ID)
+		}
+		seen[e.ID] = true
+		if !validFileName(e.File) {
+			problem("entry %q names segment file %q outside the store directory", e.ID, e.File)
+		}
+	}
+
+	// Dictionary coverage: the dict segment may hold MORE terms than the
+	// manifest records (the checkpoint crash window) but never fewer.
+	dictTerms := -1
+	if payload, err := readSegment(fsys, dir, man.Dict.File, kindDict); err == nil {
+		if dict, derr := decodeDict(man.Dict.File, payload); derr != nil {
+			problem("dictionary %s: %v", man.Dict.File, derr)
+		} else {
+			dictTerms = dict.Len() - 1
+			if dictTerms < man.Terms {
+				problem("dictionary holds %d terms, manifest records %d — terms are lost", dictTerms, man.Terms)
+			}
+		}
+	}
+
+	plan, perr := planRecovery(fsys, dir, man, dictTerms)
+	if perr != nil {
+		problem("WAL: %v", perr)
+	}
+	rep.Plan = plan
+	for _, r := range plan.Records {
+		if r.Status == WALOrphaned {
+			problem("WAL record %q (seq %d) is orphaned: parent %q is not the chain tail replay reaches",
+				r.ID, r.Seq, r.Parent)
+		}
+	}
+	return rep, nil
+}
+
+// PlanRecovery simulates Open's WAL replay for dir read-only: which records
+// the manifest already covers, which would be applied, and which are
+// orphaned. It powers "evorec store recover -dry-run".
+func PlanRecovery(dir string) (*RecoverPlan, error) { return PlanRecoveryFS(vfs.OS{}, dir) }
+
+// PlanRecoveryFS is PlanRecovery on an explicit filesystem.
+func PlanRecoveryFS(fsys vfs.FS, dir string) (*RecoverPlan, error) {
+	man, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	dictTerms := -1
+	if payload, err := readSegment(fsys, dir, man.Dict.File, kindDict); err == nil {
+		if dict, derr := decodeDict(man.Dict.File, payload); derr == nil {
+			dictTerms = dict.Len() - 1
+		}
+	}
+	plan, perr := planRecovery(fsys, dir, man, dictTerms)
+	if perr != nil {
+		return plan, perr
+	}
+	return plan, nil
+}
+
+// planRecovery runs the replay simulation. dictTerms < 0 means the
+// dictionary could not be decoded; the dictionary-gap check is skipped then
+// (its own problem is already reported by the caller).
+func planRecovery(fsys vfs.FS, dir string, man *Manifest, dictTerms int) (*RecoverPlan, error) {
+	plan := &RecoverPlan{}
+	w := &wal{fsys: fsys, dir: dir}
+	data, err := w.read()
+	if err != nil {
+		return plan, err
+	}
+	plan.WALBytes = int64(len(data))
+	if n := len(man.Entries); n > 0 {
+		plan.Tail = man.Entries[n-1].ID
+	}
+	if len(data) == 0 {
+		return plan, nil
+	}
+	recs, clean, err := scanWAL(data)
+	plan.TornBytes = int64(len(data) - clean)
+	if err != nil {
+		// A well-framed record that fails to decode poisons recovery: Open
+		// would refuse the store. Everything before it is still reported.
+		return plan, err
+	}
+	idx := make(map[string]bool, len(man.Entries))
+	for _, e := range man.Entries {
+		idx[e.ID] = true
+	}
+	covered := dictTerms
+	orphaned := false
+	var gapErr error
+	for _, rec := range recs {
+		ri := WALRecordInfo{
+			Seq: rec.seq, ID: rec.id, Parent: rec.parent,
+			Kind: kindNameSnapshot, Terms: len(rec.dictTail), Bytes: len(rec.payload),
+		}
+		if rec.segKind == kindDelta {
+			ri.Kind = kindNameDelta
+		}
+		switch {
+		case idx[rec.id]:
+			ri.Status = WALApplied
+		case orphaned || rec.parent != plan.Tail:
+			ri.Status = WALOrphaned
+			orphaned = true
+		default:
+			ri.Status = WALReplayable
+			if covered >= 0 && rec.dictBase > covered {
+				gapErr = fmt.Errorf("store: WAL record %q: dictionary base %d past dictionary size %d",
+					rec.id, rec.dictBase, covered)
+			}
+			if covered >= 0 {
+				covered = max(covered, rec.dictBase+len(rec.dictTail))
+			}
+			plan.Apply = append(plan.Apply, rec.id)
+			plan.Tail = rec.id
+		}
+		plan.Records = append(plan.Records, ri)
+	}
+	return plan, gapErr
+}

@@ -1,0 +1,265 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"sync"
+)
+
+// Fault selects what happens at the injection point.
+type Fault int
+
+const (
+	// FaultError fails the Nth mutating operation cleanly: nothing of it
+	// reaches the inner filesystem.
+	FaultError Fault = iota
+	// FaultTornWrite applies only a prefix of the Nth operation before
+	// failing: a Write lands half its bytes; a Sync promotes half the
+	// outstanding bytes to durable (the torn-fsync model — after a crash an
+	// arbitrary prefix of an appended record may have reached the platter).
+	FaultTornWrite
+	// FaultShortWrite makes the Nth Write report fewer bytes written than
+	// requested (io.ErrShortWrite) after landing that prefix.
+	FaultShortWrite
+)
+
+// ErrInjected is the failure FaultFS returns at the injection point.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrCrashed is what every operation after the injection point returns: a
+// fail-stop model, the process is considered dead from the fault onward.
+var ErrCrashed = errors.New("vfs: filesystem crashed (operation after injected fault)")
+
+// FaultFS wraps an FS and injects one failure at the Nth mutating
+// operation, then fails everything after it. Mutating operations are
+// counted in call order — MkdirAll, Create, OpenAppend, Write, Sync,
+// Rename, Remove, SyncPath, SyncDir — so a workload replayed with FailAt
+// = 1..Ops() crashes at every write-path step exactly once.
+//
+// Reads fail after the injection point too: a crashed process issues no
+// I/O at all.
+type FaultFS struct {
+	inner FS
+
+	mu    sync.Mutex
+	ops   int
+	fail  int // 1-based op index to fault at; 0 = never
+	fault Fault
+}
+
+// NewFaultFS wraps inner, faulting at the failAt-th mutating operation
+// (1-based; 0 never faults, making the wrapper a pure op counter).
+func NewFaultFS(inner FS, failAt int, fault Fault) *FaultFS {
+	return &FaultFS{inner: inner, fail: failAt, fault: fault}
+}
+
+// Ops returns how many mutating operations have been observed, the bound a
+// counting run hands to the injection enumeration.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the injection point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fail > 0 && f.ops >= f.fail
+}
+
+// step advances the mutating-op counter. It returns (true, nil) exactly at
+// the injection point and (false, ErrCrashed) for every operation after it.
+func (f *FaultFS) step() (inject bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail > 0 && f.ops >= f.fail {
+		return false, ErrCrashed
+	}
+	f.ops++
+	if f.ops == f.fail {
+		return true, nil
+	}
+	return false, nil
+}
+
+// alive errors when the filesystem is past its injection point; read-side
+// calls use it so a "crashed" process performs no I/O at all.
+func (f *FaultFS) alive() error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(path string) (fs.FileInfo, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(path)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	inject, err := f.step()
+	if err != nil {
+		return err
+	}
+	if inject {
+		return ErrInjected
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	inject, err := f.step()
+	if err != nil {
+		return nil, err
+	}
+	if inject {
+		return nil, ErrInjected
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	inject, err := f.step()
+	if err != nil {
+		return nil, err
+	}
+	if inject {
+		return nil, ErrInjected
+	}
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	inject, err := f.step()
+	if err != nil {
+		return err
+	}
+	if inject {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	inject, err := f.step()
+	if err != nil {
+		return err
+	}
+	if inject {
+		return ErrInjected
+	}
+	return f.inner.Remove(path)
+}
+
+// SyncPath implements FS.
+func (f *FaultFS) SyncPath(path string) error {
+	inject, err := f.step()
+	if err != nil {
+		return err
+	}
+	if inject {
+		return ErrInjected
+	}
+	return f.inner.SyncPath(path)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	inject, err := f.step()
+	if err != nil {
+		return err
+	}
+	if inject {
+		return ErrInjected
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads the op counter through file writes and syncs.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write implements File.
+func (f *faultFile) Write(p []byte) (int, error) {
+	inject, err := f.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if !inject {
+		return f.inner.Write(p)
+	}
+	switch f.fs.fault {
+	case FaultTornWrite:
+		n, werr := f.inner.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, ErrInjected
+	case FaultShortWrite:
+		n, werr := f.inner.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, io.ErrShortWrite
+	default:
+		return 0, ErrInjected
+	}
+}
+
+// Sync implements File. Under FaultTornWrite the injection is a torn
+// fsync: half the outstanding bytes are promoted to durable before the
+// error, modeling a crash mid-flush.
+func (f *faultFile) Sync() error {
+	inject, err := f.fs.step()
+	if err != nil {
+		return err
+	}
+	if !inject {
+		return f.inner.Sync()
+	}
+	if f.fs.fault == FaultTornWrite {
+		if pf, ok := f.inner.(interface{ SyncPartial(int) error }); ok {
+			// The partial length is arbitrary; odd primes shear records at
+			// uncomfortable offsets.
+			pf.SyncPartial(7) //nolint:errcheck // injected path, error irrelevant
+		}
+	}
+	return ErrInjected
+}
+
+// Close implements File. Close is not counted as a mutating operation (it
+// implies no durability), but a crashed filesystem still refuses it.
+func (f *faultFile) Close() error {
+	if err := f.fs.alive(); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}

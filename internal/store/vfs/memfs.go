@@ -1,0 +1,315 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory FS with crash semantics, the substrate of the
+// crash-recovery property tests. It models the two durability rules real
+// filesystems impose:
+//
+//   - File contents survive a crash only up to the last Sync of that file
+//     (content written after the last Sync reverts; a file never synced
+//     comes back empty — the "exists but garbage" state).
+//   - Namespace changes — creations, renames, removals — survive a crash
+//     only after SyncDir of the parent directory. A file fsynced under a
+//     temp name and renamed without a directory sync is lost entirely,
+//     which is exactly the missing-dir-fsync bug the vfs seam exists to
+//     make testable.
+//
+// Directory creation (MkdirAll) is modeled as immediately durable — the
+// store and feed create their directories once at setup, outside the
+// crash windows under test.
+//
+// Crash() atomically drops everything volatile, leaving the filesystem as
+// a post-power-loss reboot would find it; the instance remains usable, so
+// recovery code can reopen it in place.
+type MemFS struct {
+	mu      sync.Mutex
+	live    map[string]*inode // current namespace
+	durable map[string]*inode // namespace as a crash would leave it
+	dirs    map[string]bool
+}
+
+// inode is one file's storage. The same inode may be referenced by the live
+// and durable namespaces under different names (rename moves the live link
+// only).
+type inode struct {
+	data    []byte // current content
+	synced  []byte // content guaranteed to survive a crash
+	hasSync bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		live:    make(map[string]*inode),
+		durable: make(map[string]*inode),
+		dirs:    map[string]bool{".": true, "": true, "/": true},
+	}
+}
+
+func memPathErr(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+// clean canonicalizes a path so "dir/f" and "dir//f" address one entry.
+func clean(path string) string { return filepath.Clean(path) }
+
+func (m *MemFS) dirExistsLocked(dir string) bool { return m.dirs[clean(dir)] }
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[clean(path)]
+	if !ok {
+		return nil, memPathErr("open", path, os.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(path string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(path)
+	if m.dirs[p] {
+		return memFileInfo{name: filepath.Base(p), dir: true}, nil
+	}
+	ino, ok := m.live[p]
+	if !ok {
+		return nil, memPathErr("stat", path, os.ErrNotExist)
+	}
+	return memFileInfo{name: filepath.Base(p), size: int64(len(ino.data))}, nil
+}
+
+// MkdirAll implements FS. Created directories are immediately durable (see
+// the type comment).
+func (m *MemFS) MkdirAll(path string, _ fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(path)
+	for {
+		m.dirs[p] = true
+		parent := filepath.Dir(p)
+		if parent == p {
+			return nil
+		}
+		p = parent
+	}
+}
+
+// Create implements FS: truncate-in-place when the path is live (the same
+// inode, so a later crash can still resurface the previously synced
+// content), a fresh volatile inode otherwise.
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(path)
+	if !m.dirExistsLocked(filepath.Dir(p)) {
+		return nil, memPathErr("create", path, os.ErrNotExist)
+	}
+	ino, ok := m.live[p]
+	if ok {
+		ino.data = nil
+	} else {
+		ino = &inode{}
+		m.live[p] = ino
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(path)
+	if !m.dirExistsLocked(filepath.Dir(p)) {
+		return nil, memPathErr("open", path, os.ErrNotExist)
+	}
+	ino, ok := m.live[p]
+	if !ok {
+		ino = &inode{}
+		m.live[p] = ino
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+// Rename implements FS. Only the live namespace moves; the durable
+// namespace keeps its old bindings until SyncDir.
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	op, np := clean(oldPath), clean(newPath)
+	ino, ok := m.live[op]
+	if !ok {
+		return memPathErr("rename", oldPath, os.ErrNotExist)
+	}
+	delete(m.live, op)
+	m.live[np] = ino
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(path)
+	if _, ok := m.live[p]; !ok {
+		return memPathErr("remove", path, os.ErrNotExist)
+	}
+	delete(m.live, p)
+	return nil
+}
+
+// SyncPath implements FS.
+func (m *MemFS) SyncPath(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.live[clean(path)]
+	if !ok {
+		return memPathErr("sync", path, os.ErrNotExist)
+	}
+	ino.sync()
+	return nil
+}
+
+// SyncDir implements FS: the directory's live entries become the durable
+// namespace for that directory — creations and renames inside it now
+// survive a crash, removals inside it are now permanent.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := clean(dir)
+	if !m.dirExistsLocked(d) {
+		return memPathErr("syncdir", dir, os.ErrNotExist)
+	}
+	for p := range m.durable {
+		if filepath.Dir(p) == d {
+			if _, ok := m.live[p]; !ok {
+				delete(m.durable, p)
+			}
+		}
+	}
+	for p, ino := range m.live {
+		if filepath.Dir(p) == d {
+			m.durable[p] = ino
+		}
+	}
+	return nil
+}
+
+// Crash drops everything volatile: the namespace reverts to its last
+// directory-synced state and every file's content to its last Sync (files
+// never synced come back empty). The instance stays usable so recovery can
+// reopen it.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := make(map[string]*inode, len(m.durable))
+	durable := make(map[string]*inode, len(m.durable))
+	for p, ino := range m.durable {
+		var content []byte
+		if ino.hasSync {
+			content = append([]byte(nil), ino.synced...)
+		}
+		fresh := &inode{
+			data:    content,
+			synced:  append([]byte(nil), content...),
+			hasSync: true,
+		}
+		live[p] = fresh
+		durable[p] = fresh
+	}
+	m.live = live
+	m.durable = durable
+}
+
+// Snapshot lists the live files and their sizes, for test diagnostics.
+func (m *MemFS) Snapshot() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.live))
+	for p, ino := range m.live {
+		out[p] = len(ino.data)
+	}
+	return out
+}
+
+func (ino *inode) sync() {
+	ino.synced = append(ino.synced[:0], ino.data...)
+	ino.hasSync = true
+}
+
+// syncPrefix promotes only the first n unsynced bytes to durable — the
+// torn-fsync model FaultFS injects (a crash mid-fsync persists an arbitrary
+// prefix of the outstanding writes).
+func (ino *inode) syncPrefix(n int) {
+	end := len(ino.synced) + n
+	if !ino.hasSync {
+		end = n
+	}
+	if end > len(ino.data) {
+		end = len(ino.data)
+	}
+	ino.synced = append(ino.synced[:0], ino.data[:end]...)
+	ino.hasSync = true
+}
+
+// memFile is an open MemFS file handle.
+type memFile struct {
+	fs  *MemFS
+	ino *inode
+}
+
+// Write implements File.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.data = append(f.ino.data, p...)
+	return len(p), nil
+}
+
+// Sync implements File.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.sync()
+	return nil
+}
+
+// SyncPartial promotes only the first n outstanding bytes, then reports how
+// many unsynced bytes remain. FaultFS uses it to model torn fsyncs.
+func (f *memFile) SyncPartial(n int) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.ino.syncPrefix(n)
+	return nil
+}
+
+// Close implements File.
+func (f *memFile) Close() error { return nil }
+
+// memFileInfo is the fs.FileInfo MemFS.Stat returns.
+type memFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memFileInfo) Name() string { return i.name }
+func (i memFileInfo) Size() int64  { return i.size }
+func (i memFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.dir }
+func (i memFileInfo) Sys() any           { return nil }

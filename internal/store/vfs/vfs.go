@@ -1,0 +1,158 @@
+// Package vfs is the store's filesystem seam: every byte internal/store and
+// internal/feed persist goes through an FS, so durability discipline (fsync
+// of file contents, fsync of the parent directory after a rename) lives in
+// one place and can be exercised by a fault-injecting implementation.
+//
+// Three implementations ship:
+//
+//   - OS: the real filesystem, with real fsyncs.
+//   - MemFS: an in-memory filesystem with crash semantics — writes that were
+//     never fsynced, and renames whose directory was never synced, vanish at
+//     Crash(). It is the oracle the crash-recovery property tests replay
+//     against.
+//   - FaultFS: a wrapper injecting a failure (error, torn write, short
+//     write, failed sync) at the Nth mutating operation and failing
+//     everything after it, modeling a fail-stop crash at an arbitrary point
+//     in a write sequence.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is an open, writable file handle. Writes are buffered by the
+// implementation until Sync; only synced bytes are guaranteed to survive a
+// crash.
+type File interface {
+	io.Writer
+	// Sync flushes everything written so far to durable storage.
+	Sync() error
+	// Close releases the handle without implying durability.
+	Close() error
+}
+
+// FS is the minimal filesystem surface the store and feed persist through.
+// Implementations must be safe for concurrent use by multiple goroutines.
+type FS interface {
+	// ReadFile returns the named file's current contents.
+	ReadFile(path string) ([]byte, error)
+	// Stat returns the named file's info.
+	Stat(path string) (fs.FileInfo, error)
+	// MkdirAll creates the directory and its parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Create opens the named file for writing, truncating it if it exists.
+	Create(path string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath. The rename itself is
+	// durable only after SyncDir of the parent directory.
+	Rename(oldPath, newPath string) error
+	// Remove deletes the named file.
+	Remove(path string) error
+	// SyncPath fsyncs the named file's current contents (open + fsync +
+	// close), for callers that wrote it earlier without durability.
+	SyncPath(path string) error
+	// SyncDir fsyncs the directory itself, making renames and creations
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Stat implements FS.
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// SyncPath implements FS.
+func (OS) SyncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error { return OS{}.SyncPath(dir) }
+
+// WriteFile writes data to path in one shot without durability (the
+// os.WriteFile shape). Callers needing crash safety use WriteFileAtomic.
+func WriteFile(fsys FS, path string, data []byte) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFileAtomic writes data to a sibling temp file and renames it over
+// path, so readers see either the old contents or the new, never a tear.
+// With durable set, the temp file is fsynced before the rename and the
+// parent directory after it — the full power-loss-safe sequence; without
+// it the write is atomic against concurrent readers but may vanish at a
+// crash (callers then make it durable later via SyncPath+SyncDir, the
+// checkpoint pattern).
+func WriteFileAtomic(fsys FS, path string, data []byte, durable bool) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	if durable {
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("syncing directory after rename of %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func mustMkdir(t *testing.T, fsys FS, dir string) {
+	t.Helper()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readOrFatal(t *testing.T, fsys FS, path string) []byte {
+	t.Helper()
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile(%s): %v", path, err)
+	}
+	return data
+}
+
+// TestMemFSDurableAtomicWriteSurvivesCrash is the positive contract: the
+// full fsync discipline (temp write, file sync, rename, dir sync) survives
+// a crash bit-for-bit.
+func TestMemFSDurableAtomicWriteSurvivesCrash(t *testing.T) {
+	m := NewMemFS()
+	mustMkdir(t, m, "d")
+	want := []byte("the durable payload")
+	if err := WriteFileAtomic(m, "d/f.seg", want, true); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got := readOrFatal(t, m, "d/f.seg"); !bytes.Equal(got, want) {
+		t.Fatalf("after crash got %q, want %q", got, want)
+	}
+}
+
+// TestMemFSRenameWithoutDirSyncIsLost pins the bug the vfs seam exists to
+// catch: a file fsynced under its temp name and renamed, but whose
+// directory was never synced, vanishes at a crash — under both names.
+func TestMemFSRenameWithoutDirSyncIsLost(t *testing.T) {
+	m := NewMemFS()
+	mustMkdir(t, m, "d")
+	f, err := m.Create("d/f.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("d/f.tmp", "d/f.seg"); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncDir: the name → inode bindings are volatile.
+	m.Crash()
+	if _, err := m.ReadFile("d/f.seg"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("renamed file survived a crash without dir sync: %v", err)
+	}
+	if _, err := m.ReadFile("d/f.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp name survived a crash without dir sync: %v", err)
+	}
+}
+
+// TestMemFSUnsyncedAppendRevertsAtCrash: appended bytes after the last
+// file sync revert; bytes before it survive.
+func TestMemFSUnsyncedAppendRevertsAtCrash(t *testing.T) {
+	m := NewMemFS()
+	mustMkdir(t, m, "d")
+	f, err := m.OpenAppend("d/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("record-1|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("record-2|")); err != nil {
+		t.Fatal(err)
+	}
+	// Creation of the WAL file itself must be durable for anything to
+	// survive.
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got := readOrFatal(t, m, "d/wal.log"); string(got) != "record-1|" {
+		t.Fatalf("after crash got %q, want only the synced record", got)
+	}
+}
+
+// TestMemFSOverwriteRevertsToSyncedContent: truncating an existing synced
+// file and writing new content without sync reverts to the old content.
+func TestMemFSOverwriteRevertsToSyncedContent(t *testing.T) {
+	m := NewMemFS()
+	mustMkdir(t, m, "d")
+	if err := WriteFileAtomic(m, "d/f", []byte("old"), true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("newer-but-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readOrFatal(t, m, "d/f"); string(got) != "newer-but-volatile" {
+		t.Fatalf("live content = %q", got)
+	}
+	m.Crash()
+	if got := readOrFatal(t, m, "d/f"); string(got) != "old" {
+		t.Fatalf("after crash got %q, want %q", got, "old")
+	}
+}
+
+// TestMemFSRemoveWithoutDirSyncResurrects: a removal is volatile until the
+// directory is synced.
+func TestMemFSRemoveWithoutDirSyncResurrects(t *testing.T) {
+	m := NewMemFS()
+	mustMkdir(t, m, "d")
+	if err := WriteFileAtomic(m, "d/f", []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("d/f"); err != nil {
+		t.Fatalf("unsynced removal must revert at crash: %v", err)
+	}
+	// And with the dir sync, the removal sticks.
+	if err := m.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("synced removal must survive crash, got %v", err)
+	}
+}
+
+// TestFaultFSCountsAndFailStops: the counter run observes every mutating
+// op, the injection fires exactly once, and everything after it — reads
+// included — fails with ErrCrashed.
+func TestFaultFSCountsAndFailStops(t *testing.T) {
+	runOnce := func(failAt int) (*FaultFS, []error) {
+		m := NewMemFS()
+		mustMkdir(t, m, "d")
+		f := NewFaultFS(m, failAt, FaultError)
+		var errs []error
+		errs = append(errs, WriteFileAtomic(f, "d/a", []byte("a"), true))
+		errs = append(errs, WriteFileAtomic(f, "d/b", []byte("b"), true))
+		return f, errs
+	}
+	counter, errs := runOnce(0)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("counting run op %d: %v", i, err)
+		}
+	}
+	total := counter.Ops()
+	if total < 8 { // 2 × (create, write, sync, rename, syncdir) at least
+		t.Fatalf("counting run saw only %d ops", total)
+	}
+	for n := 1; n <= total; n++ {
+		f, errs := runOnce(n)
+		sawFailure := false
+		for _, err := range errs {
+			if err != nil {
+				sawFailure = true
+				if !errors.Is(err, ErrInjected) && !errors.Is(err, ErrCrashed) {
+					t.Fatalf("failAt=%d: unexpected error %v", n, err)
+				}
+			}
+		}
+		if !sawFailure {
+			t.Fatalf("failAt=%d: no operation failed", n)
+		}
+		if !f.Crashed() {
+			t.Fatalf("failAt=%d: filesystem not marked crashed", n)
+		}
+		if _, err := f.ReadFile("d/a"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("failAt=%d: read after crash = %v, want ErrCrashed", n, err)
+		}
+	}
+}
+
+// TestFaultFSTornSyncPersistsPrefix: a torn fsync promotes a prefix of the
+// outstanding bytes, so after the crash the file holds more than the last
+// clean sync but less than everything written — the WAL tail-record state.
+func TestFaultFSTornSyncPersistsPrefix(t *testing.T) {
+	m := NewMemFS()
+	mustMkdir(t, m, "d")
+	// Ops: 1 mkdir (already done outside)... count within FaultFS: open=1,
+	// write=2, sync=3.
+	f := NewFaultFS(m, 3, FaultTornWrite)
+	file, err := f.OpenAppend("d/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdefghij")
+	if _, err := file.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	// The WAL file's creation was never dir-synced, so make the crash see
+	// it: sync the dir through the raw MemFS (the faulted FS is dead).
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	got := readOrFatal(t, m, "d/wal.log")
+	if len(got) == 0 || len(got) >= len(payload) {
+		t.Fatalf("torn sync persisted %d bytes, want a strict non-empty prefix of %d", len(got), len(payload))
+	}
+	if !bytes.HasPrefix(payload, got) {
+		t.Fatalf("torn sync persisted %q, not a prefix of %q", got, payload)
+	}
+}
