@@ -50,13 +50,13 @@ func ingestBody(seq int) string {
 // a reader keeps serving cached recommendations throughout, and ns/op is per
 // 64-version burst. workers=1 is the serial fsync-per-commit baseline;
 // workers=8 is the group-commit path the speedup figure compares against it.
-func ingestBenchFn(workers int) func(b *testing.B) {
+func ingestBenchFn(workers int, reg *evorec.MetricsRegistry) func(b *testing.B) {
 	return func(b *testing.B) {
 		bodies := make([]string, ingestBurst+2)
 		for i := range bodies {
 			bodies[i] = ingestBody(i)
 		}
-		svc := evorec.NewService(evorec.ServiceConfig{})
+		svc := evorec.NewService(evorec.ServiceConfig{Metrics: reg})
 		defer svc.Close()
 		var dirs []string
 		defer func() {
@@ -175,7 +175,9 @@ func ingestBenchFn(workers int) func(b *testing.B) {
 // fan-out, and k-anonymization) plus the durable-ingestion benchmarks
 // (serial fsync-per-commit vs eight committers through the group-commit
 // queue) and prints a table or, with -json, the machine-readable form CI
-// archives as BENCH_6.json.
+// archives as BENCH_7.json. The instrumented paths report into a live
+// metrics registry whose snapshot rides along in the JSON, so throughput
+// numbers can be read next to the WAL/fan-out counters that produced them.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit JSON (benchmark name -> ns/op, allocs/op, bytes/op)")
@@ -223,8 +225,12 @@ func cmdBench(args []string) error {
 	if hotW == 0 {
 		return fmt.Errorf("bench: no scored entity in items")
 	}
+	reg := evorec.NewMetricsRegistry()
 	cold := evorec.SchemaIRI("FanoutColdRegion")
-	fd, err := evorec.OpenFeed(evorec.FeedConfig{Threshold: 0.01, K: 1, MaxLog: 4})
+	fd, err := evorec.OpenFeed(evorec.FeedConfig{
+		Threshold: 0.01, K: 1, MaxLog: 4,
+		Telemetry: evorec.NewFeedTelemetry(reg),
+	})
 	if err != nil {
 		return err
 	}
@@ -298,8 +304,8 @@ func cmdBench(args []string) error {
 				}
 			}
 		}},
-		{"ingest_serial_burst64", ingestBenchFn(1)},
-		{"ingest_group8_burst64", ingestBenchFn(8)},
+		{"ingest_serial_burst64", ingestBenchFn(1, reg)},
+		{"ingest_group8_burst64", ingestBenchFn(8, reg)},
 	}
 
 	out := make(map[string]benchResult, len(benches))
@@ -332,6 +338,10 @@ func cmdBench(args []string) error {
 			"format":               "evorec-bench/v1",
 			"benchmarks":           out,
 			"ingest_group_speedup": speedup,
+			// The registry snapshot after every benchmark ran: WAL fsync and
+			// batch-size distributions, fan-out counts, cache hit/miss — the
+			// internals behind the headline numbers, archived with them.
+			"metrics": reg.Snapshot(),
 		})
 	}
 	fmt.Printf("%-28s %12.2fx committed-versions/sec vs serial fsync-per-commit\n",

@@ -50,11 +50,19 @@ func validateCacheCap(n int) error {
 // cmdServe runs the HTTP evolution service: a registry of named datasets
 // (binary store directories and/or empty in-memory datasets) behind the
 // JSON API of internal/server, with subscription feeds persisted under
-// -feed-dir. SIGINT/SIGTERM shut down gracefully: the listener stops,
-// in-flight requests drain, and every dataset's feed logs are flushed.
+// -feed-dir. Every request is instrumented into the process metrics
+// registry (GET /metrics on the API port; -ops-addr adds a separate
+// operator listener with pprof and expvar) and logged structurally through
+// slog. SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight
+// requests drain, and every dataset's feed logs are flushed.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	opsAddr := fs.String("ops-addr", "",
+		"operator listen address for /metrics, /healthz, /debug/pprof and /debug/vars (empty = no ops listener)")
+	retryAfter := fs.Int("retry-after", evorec.DefaultRetryAfterSeconds,
+		"Retry-After seconds sent with 503 responses when a commit queue saturates (minimum 1)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	cacheCap := fs.Int("cache-cap", evorec.StoreDefaultCacheCap,
 		"store LRU capacity per disk-backed dataset (minimum 1)")
 	feedDir := fs.String("feed-dir", "",
@@ -74,29 +82,48 @@ func cmdServe(args []string) error {
 	if *feedWorkers < 1 {
 		return fmt.Errorf("-feed-workers must be >= 1, got %d", *feedWorkers)
 	}
-	if len(datasets) == 0 && len(mems) == 0 {
-		return fmt.Errorf("usage: evorec serve [-addr a] [-cache-cap n] [-feed-dir d] -dataset name=dir [-mem name]")
+	if *retryAfter < 1 {
+		return fmt.Errorf("-retry-after must be >= 1, got %d", *retryAfter)
 	}
+	switch *logLevel {
+	case "debug", "info", "warn", "error":
+	default:
+		return fmt.Errorf("-log-level must be debug, info, warn or error, got %q", *logLevel)
+	}
+	if len(datasets) == 0 && len(mems) == 0 {
+		return fmt.Errorf("usage: evorec serve [-addr a] [-ops-addr a] [-cache-cap n] [-feed-dir d] -dataset name=dir [-mem name]")
+	}
+
+	logger := evorec.NewLogger(os.Stderr, *logLevel)
+	reg := evorec.NewMetricsRegistry()
+	reg.PublishExpvar("evorec")
+
 	svc := evorec.NewService(evorec.ServiceConfig{
 		CacheCap: *cacheCap, FeedDir: *feedDir, FeedWorkers: *feedWorkers,
+		Metrics: reg,
 	})
 	for _, spec := range datasets {
 		name, dir, found := strings.Cut(spec, "=")
 		if !found || name == "" || dir == "" {
 			return fmt.Errorf("-dataset %q must look like name=dir", spec)
 		}
+		start := time.Now()
 		d, err := svc.Open(name, dir)
 		if err != nil {
+			logger.Error("dataset open failed", "dataset", name, "dir", dir, "error", err)
 			return err
 		}
-		fmt.Printf("serving dataset %q from %s (%d versions, %d subscribers)\n",
-			name, dir, len(d.Versions()), d.Feed().Len())
+		logger.Info("dataset opened",
+			"dataset", name, "dir", dir,
+			"versions", len(d.Versions()), "subscribers", d.Feed().Len(),
+			"duration", time.Since(start))
 	}
 	for _, name := range mems {
 		if _, err := svc.Create(name); err != nil {
+			logger.Error("dataset create failed", "dataset", name, "error", err)
 			return err
 		}
-		fmt.Printf("serving empty in-memory dataset %q\n", name)
+		logger.Info("dataset created", "dataset", name, "kind", "memory")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,8 +134,12 @@ func cmdServe(args []string) error {
 	// bounded at 128 MiB, well within it on any practical link), and
 	// responses must be consumed. Idle keep-alive connections are recycled.
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           evorec.NewHTTPServer(svc),
+		Addr: *addr,
+		Handler: evorec.NewHTTPServerWithConfig(svc, evorec.HTTPServerConfig{
+			RetryAfterSeconds: *retryAfter,
+			Metrics:           reg,
+			Logger:            logger,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -116,29 +147,65 @@ func cmdServe(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("evorec service listening on http://%s/v1/datasets\n", *addr)
+
+	// The ops listener carries the operator surface (pprof, expvar, metrics,
+	// health) on its own port, so exposure is decided separately from the
+	// public API — bind it to loopback and the profiling endpoints never
+	// leave the host.
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsSrv = &http.Server{
+			Addr: *opsAddr,
+			Handler: evorec.NewOpsMux(reg, evorec.ServiceBuildInfo("evorec"), func() map[string]any {
+				return map[string]any{"datasets": len(svc.Names())}
+			}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			// A dead ops listener degrades observability, not service; log
+			// and keep serving the API.
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "addr", *opsAddr, "error", err)
+			}
+		}()
+		logger.Info("ops listener up", "addr", *opsAddr,
+			"endpoints", "/metrics /healthz /debug/pprof /debug/vars")
+	}
+	logger.Info("service listening", "addr", *addr, "retry_after", *retryAfter)
+
 	select {
 	case err := <-errc:
 		// The listener failed on its own (port taken, ...); nothing is
 		// serving, so there is nothing to drain.
+		logger.Error("listener failed", "addr", *addr, "error", err)
 		return err
 	case <-ctx.Done():
 	}
 	stop() // restore default signal behavior: a second signal kills hard
-	fmt.Println("evorec: shutting down, draining in-flight requests")
+	logger.Info("shutting down", "drain_timeout", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if opsSrv != nil {
+		opsSrv.Close() //nolint:errcheck // operator surface; nothing to drain
+	}
+	start := time.Now()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		// Persist what we can even when the drain timed out: Close drains the
 		// commit queues, checkpoints every store's WAL and flushes the feeds.
+		logger.Error("drain timed out; closing anyway", "error", err, "duration", time.Since(start))
 		if cerr := svc.Close(); cerr != nil {
+			logger.Error("close failed", "error", cerr)
 			return errors.Join(err, cerr)
 		}
 		return err
 	}
+	logger.Info("requests drained", "duration", time.Since(start))
+	start = time.Now()
 	if err := svc.Close(); err != nil {
+		logger.Error("close failed", "error", err)
 		return err
 	}
-	fmt.Println("evorec: stores checkpointed, feed logs flushed, bye")
+	logger.Info("shutdown complete", "close_duration", time.Since(start),
+		"note", "stores checkpointed, feed logs flushed")
 	return nil
 }

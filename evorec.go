@@ -30,7 +30,9 @@ package evorec
 
 import (
 	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
 
 	"evorec/internal/archive"
 	"evorec/internal/core"
@@ -38,6 +40,7 @@ import (
 	"evorec/internal/feed"
 	"evorec/internal/graphx"
 	"evorec/internal/measures"
+	"evorec/internal/obs"
 	"evorec/internal/profile"
 	"evorec/internal/provenance"
 	"evorec/internal/query"
@@ -801,3 +804,62 @@ var ErrUnknownSubscriber = feed.ErrUnknownSubscriber
 // manifest. Service datasets open their feeds automatically; OpenFeed is
 // the standalone entry point (benchmarks, offline tooling).
 func OpenFeed(cfg FeedConfig) (*Feed, error) { return feed.Open(cfg) }
+
+// ---------------------------------------------------------------------------
+// Observability
+
+// MetricsRegistry is the process-wide instrument registry: atomic counters,
+// gauges and fixed-bucket histograms with Prometheus text exposition and an
+// expvar mirror (see DESIGN.md §11). Registration is get-or-create, so
+// every layer binding the same metric name shares one series.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// HTTPServerConfig parameterizes the HTTP layer (Retry-After hint, metrics
+// registry, structured access logger). The zero value reproduces
+// NewHTTPServer.
+type HTTPServerConfig = server.Config
+
+// DefaultRetryAfterSeconds is the Retry-After hint a zero HTTPServerConfig
+// sends with 503 responses.
+const DefaultRetryAfterSeconds = server.DefaultRetryAfterSeconds
+
+// NewHTTPServerWithConfig builds the HTTP API over the service with
+// explicit observability configuration.
+func NewHTTPServerWithConfig(svc *Service, cfg HTTPServerConfig) *HTTPServer {
+	return server.NewWithConfig(svc, cfg)
+}
+
+// NewLogger returns a text slog.Logger at the named level ("debug", "info",
+// "warn", "error"; anything else means info) writing to w.
+func NewLogger(w io.Writer, level string) *slog.Logger { return obs.NewLogger(w, level) }
+
+// OpsBuildInfo is the static identity /healthz reports.
+type OpsBuildInfo = obs.BuildInfo
+
+// ServiceBuildInfo extracts the running binary's build identity (toolchain,
+// VCS revision) under the given service name.
+func ServiceBuildInfo(service string) OpsBuildInfo { return obs.FromBuildInfo(service) }
+
+// NewOpsMux bundles the operator surface — GET /metrics, GET /healthz,
+// /debug/pprof/*, /debug/vars — on one mux, meant for a separate loopback
+// listener (`evorec serve -ops-addr`).
+func NewOpsMux(reg *MetricsRegistry, info OpsBuildInfo, dynamic func() map[string]any) *http.ServeMux {
+	return obs.NewOpsMux(reg, info, dynamic)
+}
+
+// FeedTelemetry is the feed subsystem's fan-out observation hook.
+type FeedTelemetry = feed.Telemetry
+
+// NewFeedTelemetry returns a telemetry sink recording fan-out series into
+// reg, for standalone feeds (OpenFeed); service datasets wire their feeds
+// automatically through ServiceConfig.Metrics. A nil registry returns a
+// nil hook.
+func NewFeedTelemetry(reg *MetricsRegistry) FeedTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return obs.NewFeedSink(reg)
+}

@@ -3,6 +3,7 @@ package feed
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"evorec/internal/core"
 	"evorec/internal/rdf"
@@ -49,10 +50,14 @@ func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, e
 func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) (Stats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	start := time.Now()
 	st := Stats{OlderID: olderID, NewerID: newerID, Subscribers: len(f.subs)}
 	key := pairKey(olderID, newerID)
 	if _, dup := f.done[key]; dup {
 		st.Skipped = true
+		if f.tel != nil {
+			f.tel.FanOutSkipped()
+		}
 		return st, nil
 	}
 	affected := f.affectedLocked(idx)
@@ -77,6 +82,12 @@ func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) 
 		changed = append(changed, id)
 	}
 	f.done[key] = donePair{older: olderID, newer: newerID}
+	// Delivery is complete in memory here; the observation covers scoring
+	// and log appends and is recorded even when persistence below degrades,
+	// matching what subscribers actually experienced.
+	if f.tel != nil {
+		f.tel.ObserveFanOut(st.Affected, st.Notified, time.Since(start))
+	}
 	if err := f.persistFanOutLocked(changed); err != nil {
 		return st, err
 	}

@@ -35,6 +35,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"evorec/internal/core"
 	"evorec/internal/profile"
@@ -80,6 +81,23 @@ type Config struct {
 	// K is the maximum notifications per subscriber per commit (default
 	// DefaultK).
 	K int
+	// Telemetry is the optional fan-out instrumentation sink (nil =
+	// uninstrumented). The feed declares the interface; internal/obs
+	// provides a registry-backed implementation (obs.FeedSink).
+	Telemetry Telemetry
+}
+
+// Telemetry is the narrow sink fan-out events report through. Like the
+// store's, the contract lives here and implementations live elsewhere, so
+// the feed never grows an HTTP or metrics dependency. Implementations are
+// called under the feed's write lock and must not call back into the Feed.
+type Telemetry interface {
+	// ObserveFanOut reports one delivered fan-out: subscribers matched by
+	// the inverted index, notifications appended, and wall time.
+	ObserveFanOut(affected, notified int, d time.Duration)
+	// FanOutSkipped reports a fan-out suppressed by the idempotence ledger
+	// (the pair was already delivered before a restart or invalidation).
+	FanOutSkipped()
 }
 
 // Entry is one feed log entry: a notification under its monotonic per-user
@@ -132,6 +150,7 @@ type Feed struct {
 	maxLog    int
 	threshold float64
 	k         int
+	tel       Telemetry // optional; nil = uninstrumented
 
 	mu   sync.RWMutex
 	dict *rdf.Dict                          // feed-private interner of interest terms
@@ -175,6 +194,7 @@ func Open(cfg Config) (*Feed, error) {
 		maxLog:    cfg.MaxLog,
 		threshold: cfg.Threshold,
 		k:         cfg.K,
+		tel:       cfg.Telemetry,
 		dict:      rdf.NewDict(),
 		subs:      make(map[string]*profile.Profile),
 		idx:       make(map[rdf.TermID]map[string]struct{}),

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger builds the service's structured logger: slog text lines on w
+// at the given level ("debug", "info", "warn", "error"; unknown levels
+// fall back to info). JSON output is a handler swap away; text keeps the
+// smoke tests and a human tail readable.
+func NewLogger(w io.Writer, level string) *slog.Logger {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv}))
+}
+
+// requestIDKey is the context key request IDs travel under.
+type requestIDKey struct{}
+
+// reqPrefix is a per-process random prefix so IDs from different service
+// instances never collide in aggregated logs; reqSeq makes each ID unique
+// within the process.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo is the static identity /healthz reports. FromBuildInfo fills
+// it from the binary's embedded build metadata.
+type BuildInfo struct {
+	// Service names the serving binary ("evorec").
+	Service string `json:"service"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision baked in at build time ("" outside a
+	// checkout).
+	Revision string `json:"revision,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// FromBuildInfo extracts the binary's build identity.
+func FromBuildInfo(service string) BuildInfo {
+	bi := BuildInfo{Service: service, GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				bi.Revision = s.Value
+			case "vcs.modified":
+				bi.Modified = s.Value == "true"
+			}
+		}
+	}
+	return bi
+}
+
+// HealthHandler serves GET /healthz: 200 with the build identity, uptime,
+// and whatever dynamic fields the caller supplies (dataset count, ...).
+// It is a liveness check — it answers as long as the process serves HTTP —
+// not a readiness probe into the stores.
+func HealthHandler(info BuildInfo, dynamic func() map[string]any) http.Handler {
+	start := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"status":         "ok",
+			"service":        info.Service,
+			"go_version":     info.GoVersion,
+			"uptime_seconds": time.Since(start).Seconds(),
+		}
+		if info.Revision != "" {
+			body["revision"] = info.Revision
+			body["modified"] = info.Modified
+		}
+		if dynamic != nil {
+			for k, v := range dynamic() {
+				body[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body) //nolint:errcheck // the response is already committed
+	})
+}
+
+// NewOpsMux bundles the operator surface on one mux, meant for a separate
+// loopback listener (`evorec serve -ops-addr`), so profiling and metrics
+// never share a port — or an exposure decision — with the public API:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /healthz        liveness + build info
+//	GET /debug/pprof/*  net/http/pprof profiles
+//	GET /debug/vars     expvar (includes the registry mirror)
+func NewOpsMux(reg *Registry, info BuildInfo, dynamic func() map[string]any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /healthz", HealthHandler(info, dynamic))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,157 @@
+package obs
+
+import "time"
+
+// StoreSink implements internal/store's Telemetry interface structurally
+// (obs never imports store — the storage layer declares the contract, this
+// package satisfies it), publishing:
+//
+//	evorec_wal_append_seconds            whole WAL append incl. fsync
+//	evorec_wal_fsync_seconds             the fsync alone
+//	evorec_wal_append_bytes_total        record bytes logged
+//	evorec_wal_size_bytes                current WAL size (gauge)
+//	evorec_store_checkpoint_seconds{reason}  checkpoint duration by trigger
+//	evorec_store_segment_bytes_total     segment bytes written
+//	evorec_store_cache_{hits,misses}_total   graph-LRU materialization
+//
+// Nil-receiver safe throughout, so a dataset without a sink pays one nil
+// check per event.
+type StoreSink struct {
+	walAppend   *Histogram
+	walFsync    *Histogram
+	walBytes    *Counter
+	walSize     *Gauge
+	checkpoint  *HistogramVec
+	segBytes    *Counter
+	cacheHits   *Counter
+	cacheMisses *Counter
+}
+
+// NewStoreSink binds the store instrument set on reg (nil reg -> nil sink).
+func NewStoreSink(reg *Registry) *StoreSink {
+	if reg == nil {
+		return nil
+	}
+	return &StoreSink{
+		walAppend: reg.Histogram("evorec_wal_append_seconds",
+			"WAL group-append latency in seconds (encode excluded, fsync included).", DefBuckets),
+		walFsync: reg.Histogram("evorec_wal_fsync_seconds",
+			"WAL fsync latency in seconds — the durability floor of every commit.", DefBuckets),
+		walBytes: reg.Counter("evorec_wal_append_bytes_total",
+			"Bytes appended to write-ahead logs."),
+		walSize: reg.Gauge("evorec_wal_size_bytes",
+			"Current write-ahead log size in bytes (what the next checkpoint absorbs)."),
+		checkpoint: reg.HistogramVec("evorec_store_checkpoint_seconds",
+			"Store checkpoint duration in seconds, by trigger reason.", DefBuckets, "reason"),
+		segBytes: reg.Counter("evorec_store_segment_bytes_total",
+			"Segment-file bytes written (snapshots, deltas, dictionary rewrites)."),
+		cacheHits: reg.Counter("evorec_store_cache_hits_total",
+			"Graph-LRU hits on version materialization."),
+		cacheMisses: reg.Counter("evorec_store_cache_misses_total",
+			"Graph-LRU misses on version materialization (each one replays segments)."),
+	}
+}
+
+// ObserveWALAppend records one group append: total latency and logged bytes.
+func (s *StoreSink) ObserveWALAppend(bytes int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.walAppend.Observe(d.Seconds())
+	s.walBytes.Add(float64(bytes))
+}
+
+// ObserveWALFsync records one WAL fsync.
+func (s *StoreSink) ObserveWALFsync(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.walFsync.Observe(d.Seconds())
+}
+
+// ObserveCheckpoint records one checkpoint under its trigger reason
+// ("replay", "wal-bound", "idle", "explicit", "close").
+func (s *StoreSink) ObserveCheckpoint(reason string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.checkpoint.With(reason).Observe(d.Seconds())
+}
+
+// AddSegmentBytes records segment-file bytes written.
+func (s *StoreSink) AddSegmentBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.segBytes.Add(float64(n))
+}
+
+// ObserveCacheAccess records one graph-LRU probe.
+func (s *StoreSink) ObserveCacheAccess(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.cacheHits.Inc()
+	} else {
+		s.cacheMisses.Inc()
+	}
+}
+
+// SetWALSize tracks the WAL's current size.
+func (s *StoreSink) SetWALSize(n int64) {
+	if s == nil {
+		return
+	}
+	s.walSize.Set(float64(n))
+}
+
+// FeedSink implements internal/feed's Telemetry interface, publishing:
+//
+//	evorec_fanout_seconds         commit-triggered fan-out duration
+//	evorec_fanout_affected        affected-subscriber count distribution
+//	evorec_fanout_notified_total  notifications appended to feed logs
+//	evorec_fanout_skipped_total   ledger-skipped replays (idempotent pairs)
+type FeedSink struct {
+	duration *Histogram
+	affected *Histogram
+	notified *Counter
+	skipped  *Counter
+}
+
+// NewFeedSink binds the feed instrument set on reg (nil reg -> nil sink).
+func NewFeedSink(reg *Registry) *FeedSink {
+	if reg == nil {
+		return nil
+	}
+	return &FeedSink{
+		duration: reg.Histogram("evorec_fanout_seconds",
+			"Commit-triggered fan-out duration in seconds (index intersection + scoring + log appends).",
+			DefBuckets),
+		affected: reg.Histogram("evorec_fanout_affected",
+			"Subscribers matched by the inverted interest index per fan-out — the set actually scored.",
+			SizeBuckets),
+		notified: reg.Counter("evorec_fanout_notified_total",
+			"Notifications appended to feed logs."),
+		skipped: reg.Counter("evorec_fanout_skipped_total",
+			"Fan-outs skipped by the idempotence ledger (pair already delivered)."),
+	}
+}
+
+// ObserveFanOut records one delivered fan-out.
+func (s *FeedSink) ObserveFanOut(affected, notified int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.duration.Observe(d.Seconds())
+	s.affected.Observe(float64(affected))
+	s.notified.Add(float64(notified))
+}
+
+// FanOutSkipped records one ledger-skipped replay.
+func (s *FeedSink) FanOutSkipped() {
+	if s == nil {
+		return
+	}
+	s.skipped.Inc()
+}

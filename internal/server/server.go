@@ -34,39 +34,92 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 
 	"evorec/internal/core"
+	"evorec/internal/obs"
 	"evorec/internal/profile"
 	"evorec/internal/recommend"
 	"evorec/internal/service"
 )
 
+// DefaultRetryAfterSeconds is the back-off hint sent with 503 responses
+// when a dataset's group-commit queue is saturated: long enough for the
+// committer to drain a full queue against a spinning disk, short enough
+// that clients resume quickly once the burst passes.
+const DefaultRetryAfterSeconds = 1
+
+// Config parameterizes the HTTP layer. The zero value reproduces New's
+// historical behavior: default Retry-After, no metrics, no access log.
+type Config struct {
+	// RetryAfterSeconds is the Retry-After hint on 503 responses
+	// (ErrCommitBusy / ErrDatasetClosed); zero or negative keeps
+	// DefaultRetryAfterSeconds.
+	RetryAfterSeconds int
+	// Metrics instruments every route (latency histogram, status-class
+	// counters, in-flight gauge, response bytes) and mounts GET /metrics on
+	// the API mux. Nil disables both.
+	Metrics *obs.Registry
+	// Logger receives one structured access line per request (request ID,
+	// route, status, duration). Nil disables access logging.
+	Logger *slog.Logger
+}
+
 // Server is the HTTP front-end over a Service. It implements http.Handler
 // and is safe for concurrent use.
 type Server struct {
-	svc *service.Service
-	mux *http.ServeMux
+	svc        *service.Service
+	mux        *http.ServeMux
+	httpm      *obs.HTTPMetrics
+	retryAfter string       // pre-formatted Retry-After header value
+	rejections *obs.Counter // 503s sent (nil when uninstrumented)
 }
 
-// New builds the HTTP API over the service.
-func New(svc *service.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
-	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleInspect)
-	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleCreate)
-	s.mux.HandleFunc("POST /v1/datasets/{name}/versions/{id}", s.handleCommit)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/delta", s.handleDelta)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/measures", s.handleMeasures)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/recommend", s.handleRecommend)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/recommend/group", s.handleRecommendGroup)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/notify", s.handleNotify)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/subscribers", s.handleSubscribers)
-	s.mux.HandleFunc("PUT /v1/datasets/{name}/subscribers/{id}", s.handleSubscribe)
-	s.mux.HandleFunc("DELETE /v1/datasets/{name}/subscribers/{id}", s.handleUnsubscribe)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/feed/{id}", s.handleFeed)
+// New builds the HTTP API over the service with default configuration.
+func New(svc *service.Service) *Server { return NewWithConfig(svc, Config{}) }
+
+// NewWithConfig builds the HTTP API over the service.
+func NewWithConfig(svc *service.Service, cfg Config) *Server {
+	retry := cfg.RetryAfterSeconds
+	if retry <= 0 {
+		retry = DefaultRetryAfterSeconds
+	}
+	s := &Server{
+		svc:        svc,
+		mux:        http.NewServeMux(),
+		httpm:      obs.NewHTTPMetrics(cfg.Metrics, cfg.Logger),
+		retryAfter: strconv.Itoa(retry),
+	}
+	if cfg.Metrics != nil {
+		s.rejections = cfg.Metrics.Counter("evorec_http_rejections_total",
+			"Requests rejected with 503 (commit queue saturated or dataset closing).")
+		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	}
+	s.mux.Handle("GET /healthz", obs.HealthHandler(obs.FromBuildInfo("evorec"), nil))
+	s.route("GET /v1/datasets", s.handleList)
+	s.route("GET /v1/datasets/{name}", s.handleInspect)
+	s.route("POST /v1/datasets/{name}", s.handleCreate)
+	s.route("POST /v1/datasets/{name}/versions/{id}", s.handleCommit)
+	s.route("GET /v1/datasets/{name}/delta", s.handleDelta)
+	s.route("GET /v1/datasets/{name}/measures", s.handleMeasures)
+	s.route("GET /v1/datasets/{name}/recommend", s.handleRecommend)
+	s.route("GET /v1/datasets/{name}/recommend/group", s.handleRecommendGroup)
+	s.route("GET /v1/datasets/{name}/notify", s.handleNotify)
+	s.route("GET /v1/datasets/{name}/subscribers", s.handleSubscribers)
+	s.route("PUT /v1/datasets/{name}/subscribers/{id}", s.handleSubscribe)
+	s.route("DELETE /v1/datasets/{name}/subscribers/{id}", s.handleUnsubscribe)
+	s.route("GET /v1/datasets/{name}/feed/{id}", s.handleFeed)
 	return s
+}
+
+// route registers a handler under the observability middleware. The route
+// label comes from the registration pattern (bounded cardinality — the
+// mux's path wildcards, never raw request paths). With no metrics and no
+// logger the middleware is a nil receiver and the handler mounts bare.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.httpm.Wrap(obs.RouteLabel(pattern), h))
 }
 
 // ServeHTTP dispatches to the API routes.
@@ -87,17 +140,13 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// retryAfterSeconds is the back-off hint sent with 503 responses when a
-// dataset's group-commit queue is saturated: long enough for the committer
-// to drain a full queue against a spinning disk, short enough that clients
-// resume quickly once the burst passes.
-const retryAfterSeconds = 1
-
 // writeErr maps service sentinel errors to HTTP statuses; everything else
 // (malformed input wrapped by the handlers) is a 400. Overload and shutdown
-// (ErrCommitBusy, ErrDatasetClosed) are 503 with a Retry-After, telling
-// well-behaved clients to back off rather than retry immediately.
-func writeErr(w http.ResponseWriter, err error) {
+// (ErrCommitBusy, ErrDatasetClosed) are 503 with the configured Retry-After,
+// telling well-behaved clients to back off rather than retry immediately;
+// each such rejection is also counted so a load-shedding episode shows up
+// as a rate, not just client-side errors.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, service.ErrUnknownDataset), errors.Is(err, service.ErrUnknownVersion),
@@ -107,7 +156,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, service.ErrCommitBusy), errors.Is(err, service.ErrDatasetClosed):
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", s.retryAfter)
+		s.rejections.Inc()
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -254,7 +304,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toInfoJSON(d.Info()))
@@ -263,7 +313,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	d, err := s.svc.Create(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, toInfoJSON(d.Info()))
@@ -282,17 +332,17 @@ const maxCommitBody = 128 << 20
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCommitBody))
 	if err != nil {
-		writeErr(w, fmt.Errorf("reading commit body: %w", err))
+		s.writeErr(w, fmt.Errorf("reading commit body: %w", err))
 		return
 	}
 	info, err := d.Commit(r.PathValue("id"), bytes.NewReader(body))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	type feedJSON struct {
@@ -324,17 +374,17 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	older, newer, err := pairParams(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	stats, err := d.Delta(older, newer)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if stats.HighLevel == nil {
@@ -359,22 +409,22 @@ type entityScoreJSON struct {
 func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	older, newer, err := pairParams(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	k, err := intParam(r, "k", 3)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	evals, err := d.Measures(older, newer, k)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	type measureJSON struct {
@@ -418,28 +468,28 @@ func toRecJSON(sel []recommend.Recommendation) []recJSON {
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	older, newer, err := pairParams(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	q := r.URL.Query()
 	k, err := intParam(r, "k", 3)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	strat, err := parseStrategy(q.Get("strategy"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	lambda, err := floatParam(r, "lambda", 0)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	userID := q.Get("user_id")
@@ -448,29 +498,29 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	u, err := parseInterests(userID, q.Get("interests"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	req := core.Request{OlderID: older, NewerID: newer, K: k, Strategy: strat, Lambda: lambda}
 
 	kanon, err := intParam(r, "kanon", 0)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// k-anonymity below 2 cannot anonymize anything; accepting kanon=1 would
 	// report "private": true over the raw profile.
 	if kanon == 1 || kanon < 0 {
-		writeErr(w, fmt.Errorf("kanon must be 0 (off) or >= 2, got %d", kanon))
+		s.writeErr(w, fmt.Errorf("kanon must be 0 (off) or >= 2, got %d", kanon))
 		return
 	}
 	epsilon, err := floatParam(r, "epsilon", 0)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if epsilon < 0 {
-		writeErr(w, fmt.Errorf("epsilon must be >= 0, got %g", epsilon))
+		s.writeErr(w, fmt.Errorf("epsilon must be >= 0, got %g", epsilon))
 		return
 	}
 	var sel []recommend.Recommendation
@@ -478,14 +528,14 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if private {
 		seed, err := intParam(r, "seed", 0)
 		if err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err)
 			return
 		}
 		pool := []*profile.Profile{u}
 		for _, spec := range q["pool"] {
 			p, err := parseUserSpec(spec)
 			if err != nil {
-				writeErr(w, err)
+				s.writeErr(w, err)
 				return
 			}
 			pool = append(pool, p)
@@ -496,7 +546,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		sel, err = d.Recommend(u, req)
 	}
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -512,40 +562,40 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRecommendGroup(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	older, newer, err := pairParams(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	q := r.URL.Query()
 	k, err := intParam(r, "k", 3)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	agg, err := parseAggregation(q.Get("agg"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	alpha, err := floatParam(r, "alpha", 0.5)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	specs := q["member"]
 	if len(specs) == 0 {
-		writeErr(w, fmt.Errorf("at least one member=id:Class=w parameter is required"))
+		s.writeErr(w, fmt.Errorf("at least one member=id:Class=w parameter is required"))
 		return
 	}
 	members := make([]*profile.Profile, 0, len(specs))
 	for _, spec := range specs {
 		p, err := parseUserSpec(spec)
 		if err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err)
 			return
 		}
 		members = append(members, p)
@@ -556,7 +606,7 @@ func (s *Server) handleRecommendGroup(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := profile.NewGroup(groupID, members)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	fair := q.Get("fair") == "1" || q.Get("fair") == "true"
@@ -566,7 +616,7 @@ func (s *Server) handleRecommendGroup(w http.ResponseWriter, r *http.Request) {
 	}
 	sel, err := d.RecommendGroup(g, req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	mode := agg.String()
@@ -602,29 +652,29 @@ const maxSubscribeBody = 1 << 20
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubscribeBody))
 	if err != nil {
-		writeErr(w, fmt.Errorf("reading subscribe body: %w", err))
+		s.writeErr(w, fmt.Errorf("reading subscribe body: %w", err))
 		return
 	}
 	var req struct {
 		Interests string `json:"interests"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeErr(w, fmt.Errorf("decoding subscribe body: %w", err))
+		s.writeErr(w, fmt.Errorf("decoding subscribe body: %w", err))
 		return
 	}
 	p, err := parseInterests(r.PathValue("id"), req.Interests)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	info, created, err := d.Subscribe(p)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	status := http.StatusOK
@@ -637,12 +687,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	id := r.PathValue("id")
 	if err := d.Unsubscribe(id); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -654,7 +704,7 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubscribers(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	subs := d.Subscribers()
@@ -679,7 +729,7 @@ func (s *Server) handleSubscribers(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	q := r.URL.Query()
@@ -687,23 +737,23 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("after"); v != "" {
 		after, err = strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeErr(w, fmt.Errorf("parameter after=%q is not a cursor", v))
+			s.writeErr(w, fmt.Errorf("parameter after=%q is not a cursor", v))
 			return
 		}
 	}
 	limit, err := intParam(r, "limit", 100)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if limit < 1 {
-		writeErr(w, fmt.Errorf("limit must be >= 1, got %d", limit))
+		s.writeErr(w, fmt.Errorf("limit must be >= 1, got %d", limit))
 		return
 	}
 	user := r.PathValue("id")
 	entries, next, err := d.PollFeed(user, after, limit)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	type entryJSON struct {
@@ -732,42 +782,42 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNotify(w http.ResponseWriter, r *http.Request) {
 	d, err := s.dataset(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	older, newer, err := pairParams(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	q := r.URL.Query()
 	k, err := intParam(r, "k", 1)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	threshold, err := floatParam(r, "threshold", 0.1)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	specs := q["user"]
 	if len(specs) == 0 {
-		writeErr(w, fmt.Errorf("at least one user=id:Class=w parameter is required"))
+		s.writeErr(w, fmt.Errorf("at least one user=id:Class=w parameter is required"))
 		return
 	}
 	pool := make([]*profile.Profile, 0, len(specs))
 	for _, spec := range specs {
 		p, err := parseUserSpec(spec)
 		if err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err)
 			return
 		}
 		pool = append(pool, p)
 	}
 	notes, err := d.Notify(pool, older, newer, threshold, k)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	type noteJSON struct {

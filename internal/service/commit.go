@@ -53,9 +53,11 @@ func (d *Dataset) enqueue(req *commitReq) error {
 		return fmt.Errorf("%w: %q", ErrDatasetClosed, d.name)
 	}
 	if len(c.queue) >= c.max {
+		d.metrics.incCommitBusy()
 		return fmt.Errorf("%w: dataset %q has %d commits queued", ErrCommitBusy, d.name, len(c.queue))
 	}
 	c.queue = append(c.queue, req)
+	d.metrics.setQueueDepth(len(c.queue))
 	if !c.running {
 		c.running = true
 		go d.runCommits()
@@ -85,7 +87,7 @@ func (d *Dataset) runCommits() {
 			// Queue drained: absorb the WAL now, then re-check — a commit
 			// that arrived while checkpointing keeps this goroutine alive
 			// (enqueue saw running=true and spawned nothing).
-			d.checkpointStore()
+			d.checkpointStore(store.CheckpointIdle)
 			c.mu.Lock()
 			if len(c.queue) == 0 {
 				c.running = false
@@ -98,10 +100,12 @@ func (d *Dataset) runCommits() {
 		}
 		batch := c.queue
 		c.queue = nil
+		d.metrics.setQueueDepth(0)
 		c.mu.Unlock()
+		d.metrics.observeBatch(len(batch))
 		d.commitBatch(batch)
 		if d.walPastBound() {
-			d.checkpointStore()
+			d.checkpointStore(store.CheckpointWALBound)
 		}
 	}
 }
@@ -116,17 +120,19 @@ func (d *Dataset) walPastBound() bool {
 	return d.sds.WALSize() >= walCheckpointBytes
 }
 
-// checkpointStore folds the WAL into a durable checkpoint. A checkpoint
-// failure poisons the store handle and surfaces on the next commit, so the
-// error is not separately reported here.
-func (d *Dataset) checkpointStore() {
+// checkpointStore folds the WAL into a durable checkpoint, recording the
+// trigger reason ("idle" between bursts, "wal-bound" under sustained
+// load) in the checkpoint-duration histogram. A checkpoint failure
+// poisons the store handle and surfaces on the next commit, so the error
+// is not separately reported here.
+func (d *Dataset) checkpointStore(reason string) {
 	if d.sds == nil {
 		return
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.sds.WALSize() > 0 {
-		d.sds.Checkpoint() //nolint:errcheck // poisons the handle; next commit reports it
+		d.sds.CheckpointReason(reason) //nolint:errcheck // poisons the handle; next commit reports it
 	}
 }
 

@@ -44,6 +44,10 @@ type Dataset struct {
 	// WAL fsync per batch). Its lock nests outside mu: enqueue/drain take
 	// committer.mu only, commitBatch takes mu only.
 	committer committer
+
+	// metrics is the dataset's service-level instrument set; nil (no
+	// registry configured) disables all recording.
+	metrics *metrics
 }
 
 // newDataset wires a dataset facade. sds is nil for in-memory datasets; vs,
@@ -67,17 +71,24 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 		}
 		feedDir = filepath.Join(cfg.FeedDir, name)
 	}
+	m := newMetrics(cfg.Metrics)
 	fd, err := feed.Open(feed.Config{
 		Dir:       feedDir,
 		FS:        cfg.fs(),
 		Workers:   cfg.FeedWorkers,
 		Threshold: cfg.FeedThreshold,
 		K:         cfg.FeedK,
+		Telemetry: m.feedTelemetry(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd}
+	if sds != nil {
+		// The sink lands before the dataset serves traffic (open-time WAL
+		// replay already happened inside store.OpenFS and is not counted).
+		sds.SetTelemetry(m.storeTelemetry())
+	}
+	d := &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd, metrics: m}
 	d.committer.max = cfg.CommitQueue
 	if d.committer.max <= 0 {
 		d.committer.max = DefaultCommitQueue
@@ -145,6 +156,7 @@ func (d *Dataset) ensureItems(olderID, newerID string) error {
 	cached := d.eng.HasItems(olderID, newerID)
 	d.mu.RUnlock()
 	if cached {
+		d.metrics.incPairHit()
 		return nil
 	}
 	key := pairKey(olderID, newerID)
@@ -183,6 +195,9 @@ func (d *Dataset) buildItems(olderID, newerID string) error {
 		return err
 	}
 	_, err := d.eng.Items(olderID, newerID)
+	if err == nil {
+		d.metrics.incContextBuild()
+	}
 	return err
 }
 

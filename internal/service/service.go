@@ -35,6 +35,7 @@ import (
 
 	"evorec/internal/feed"
 	"evorec/internal/measures"
+	"evorec/internal/obs"
 	"evorec/internal/rdf"
 	"evorec/internal/store"
 	"evorec/internal/store/vfs"
@@ -99,6 +100,12 @@ type Config struct {
 	// CommitQueue bounds each dataset's group-commit queue; beyond it
 	// Commit fails fast with ErrCommitBusy. Zero keeps DefaultCommitQueue.
 	CommitQueue int
+	// Metrics is the observability registry every dataset reports into:
+	// store WAL/checkpoint/cache series, feed fan-out series, and the
+	// service's own group-commit and pair-cache series (see DESIGN.md
+	// §11). Nil disables instrumentation entirely — every hook degrades
+	// to a nil check.
+	Metrics *obs.Registry
 }
 
 // fs resolves the configured filesystem, defaulting to the real one.

@@ -177,6 +177,9 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 			ds.fail(err)
 			return nil, err
 		}
+		if ds.tel != nil {
+			ds.tel.AddSegmentBytes(e.Bytes)
+		}
 		ds.pending[path] = true
 		ds.idx[v.ID] = base + k
 		out[k] = e
@@ -191,7 +194,7 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 		}
 	}
 	if ds.wal.size >= DefaultWALCheckpointBytes {
-		if err := ds.Checkpoint(); err != nil {
+		if err := ds.CheckpointReason(CheckpointWALBound); err != nil {
 			return nil, err
 		}
 	}

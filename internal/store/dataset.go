@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"time"
 
 	"evorec/internal/rdf"
 	"evorec/internal/store/vfs"
@@ -35,6 +36,9 @@ type Dataset struct {
 	lru  lruCache
 
 	wal *wal
+	// tel is the optional telemetry sink (nil = uninstrumented); see
+	// SetTelemetry.
+	tel Telemetry
 	// pending holds segment paths written since the last checkpoint, still
 	// owed an fsync before the manifest may reference them durably.
 	pending map[string]bool
@@ -147,7 +151,7 @@ func (ds *Dataset) replayWAL() error {
 	}
 	// Everything readable is applied (or was already durable): make it all
 	// durable and truncate the log.
-	return ds.checkpoint()
+	return ds.checkpointTimed(CheckpointReplay)
 }
 
 // applyWALRecord redoes one commit from its WAL record: re-interns the
@@ -192,6 +196,9 @@ func (ds *Dataset) applyWALRecord(rec *walRecord) error {
 	if e.Bytes, err = writeSegment(ds.fsys, path, rec.segKind, rec.payload, false); err != nil {
 		return err
 	}
+	if ds.tel != nil {
+		ds.tel.AddSegmentBytes(e.Bytes)
+	}
 	ds.pending[path] = true
 	ds.idx[rec.id] = len(ds.man.Entries)
 	ds.man.Entries = append(ds.man.Entries, e)
@@ -204,16 +211,36 @@ func (ds *Dataset) applyWALRecord(rec *walRecord) error {
 // manifest — the commit point — written with the full fsync discipline.
 // After a clean checkpoint the WAL is redundant and reset. Idempotent and
 // cheap when nothing is outstanding.
-func (ds *Dataset) Checkpoint() error {
+func (ds *Dataset) Checkpoint() error { return ds.CheckpointReason(CheckpointExplicit) }
+
+// CheckpointReason is Checkpoint with the trigger reason that lands in the
+// telemetry sink's duration histogram — service layers distinguish idle
+// background checkpoints from size-bound ones when reading saturation.
+func (ds *Dataset) CheckpointReason(reason string) error {
 	if ds.failed != nil {
 		return ds.failed
 	}
 	if len(ds.pending) == 0 && ds.wal.size == 0 {
 		return nil
 	}
-	if err := ds.checkpoint(); err != nil {
+	if err := ds.checkpointTimed(reason); err != nil {
 		ds.fail(err)
 		return err
+	}
+	return nil
+}
+
+// checkpointTimed runs checkpoint and reports its duration under reason.
+// Only completed checkpoints are observed: a failed one poisons the handle
+// and its partial duration would skew the histogram it never finished.
+func (ds *Dataset) checkpointTimed(reason string) error {
+	start := time.Now()
+	if err := ds.checkpoint(); err != nil {
+		return err
+	}
+	if ds.tel != nil {
+		ds.tel.ObserveCheckpoint(reason, time.Since(start))
+		ds.tel.SetWALSize(ds.wal.size)
 	}
 	return nil
 }
@@ -231,6 +258,9 @@ func (ds *Dataset) checkpoint() error {
 		appendDict(nil, ds.dict), true)
 	if err != nil {
 		return err
+	}
+	if ds.tel != nil {
+		ds.tel.AddSegmentBytes(dictBytes)
 	}
 	man := *ds.man
 	man.Entries = append([]Entry(nil), ds.man.Entries...)
@@ -254,7 +284,7 @@ func (ds *Dataset) WALSize() int64 { return ds.wal.size }
 func (ds *Dataset) Close() error {
 	var err error
 	if ds.failed == nil && (len(ds.pending) > 0 || ds.wal.size > 0) {
-		err = ds.Checkpoint()
+		err = ds.CheckpointReason(CheckpointClose)
 	}
 	if cerr := ds.wal.close(); err == nil {
 		err = cerr
@@ -330,7 +360,13 @@ func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
 		return nil, fmt.Errorf("store: version index %d out of range [0, %d)", i, len(ds.man.Entries))
 	}
 	if g := ds.lru.get(i); g != nil {
+		if ds.tel != nil {
+			ds.tel.ObserveCacheAccess(true)
+		}
 		return g, nil
+	}
+	if ds.tel != nil {
+		ds.tel.ObserveCacheAccess(false)
 	}
 	// Walk back to the nearest reconstruction base: a cached graph or a
 	// snapshot entry (entry 0 is always a snapshot, so this terminates).

@@ -1,0 +1,54 @@
+package store
+
+import "time"
+
+// Telemetry is the narrow sink a Dataset reports its I/O events through.
+// The store declares the contract and never imports an implementation —
+// internal/obs provides one (obs.StoreSink) that satisfies it
+// structurally, so this package stays free of any HTTP or metrics
+// dependency. Implementations must be safe for concurrent use by the
+// goroutine driving the dataset and cheap enough to sit on the WAL path;
+// a nil Telemetry (the default) disables instrumentation entirely.
+type Telemetry interface {
+	// ObserveWALAppend reports one group append: framed bytes logged and
+	// the whole append latency, fsync included.
+	ObserveWALAppend(bytes int, d time.Duration)
+	// ObserveWALFsync reports the fsync alone — the durability floor every
+	// acknowledged commit pays.
+	ObserveWALFsync(d time.Duration)
+	// ObserveCheckpoint reports a completed checkpoint and what triggered
+	// it: "replay" (WAL recovery at open), "wal-bound" (size bound hit
+	// inside Append), "close", or a caller-supplied reason such as "idle".
+	ObserveCheckpoint(reason string, d time.Duration)
+	// AddSegmentBytes reports segment-file bytes written (snapshots,
+	// deltas, dictionary rewrites).
+	AddSegmentBytes(n int64)
+	// ObserveCacheAccess reports one graph-LRU probe during version
+	// materialization.
+	ObserveCacheAccess(hit bool)
+	// SetWALSize tracks the WAL's current size after appends and resets.
+	SetWALSize(n int64)
+}
+
+// SetTelemetry installs the dataset's telemetry sink (nil disables). Call
+// it right after Open, before the dataset serves traffic: the handle is
+// not synchronized, so installing a sink mid-flight races the write path.
+func (ds *Dataset) SetTelemetry(t Telemetry) {
+	ds.tel = t
+	ds.wal.tel = t
+}
+
+// Checkpoint trigger reasons reported through Telemetry.
+const (
+	// CheckpointReplay is WAL recovery at open.
+	CheckpointReplay = "replay"
+	// CheckpointWALBound is the in-Append WAL size bound.
+	CheckpointWALBound = "wal-bound"
+	// CheckpointExplicit is a direct Checkpoint() call.
+	CheckpointExplicit = "explicit"
+	// CheckpointClose is the final checkpoint inside Close.
+	CheckpointClose = "close"
+	// CheckpointIdle is a background checkpoint taken while the commit
+	// queue is quiet (the service's group committer uses it).
+	CheckpointIdle = "idle"
+)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"time"
 
 	"evorec/internal/rdf"
 	"evorec/internal/store/vfs"
@@ -192,6 +193,9 @@ type wal struct {
 	f    vfs.File
 	size int64
 	seq  uint64 // last sequence handed out
+	// tel mirrors the owning Dataset's sink (nil = uninstrumented); append
+	// is where fsync latency — the durability floor — is measured.
+	tel Telemetry
 }
 
 func (w *wal) path() string { return joinPath(w.dir, walFileName) }
@@ -231,6 +235,9 @@ func (w *wal) reset() error {
 	}
 	w.f = f
 	w.size = 0
+	if w.tel != nil {
+		w.tel.SetWALSize(0)
+	}
 	return nil
 }
 
@@ -247,16 +254,23 @@ func (w *wal) ensureOpen() error {
 // however many commits are in the batch, durability costs one write and
 // one fsync.
 func (w *wal) append(framed []byte) error {
+	start := time.Now()
 	if err := w.ensureOpen(); err != nil {
 		return err
 	}
 	if _, err := w.f.Write(framed); err != nil {
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
 	w.size += int64(len(framed))
+	if w.tel != nil {
+		w.tel.ObserveWALFsync(time.Since(syncStart))
+		w.tel.ObserveWALAppend(len(framed), time.Since(start))
+		w.tel.SetWALSize(w.size)
+	}
 	return nil
 }
 
