@@ -69,6 +69,12 @@ func cmdServe(args []string) error {
 		"directory for per-dataset subscriber registries and feed logs (empty = in-memory feeds)")
 	feedWorkers := fs.Int("feed-workers", evorec.FeedDefaultWorkers,
 		"fan-out worker pool size per dataset (minimum 1)")
+	traceSample := fs.Float64("trace-sample", 1,
+		"fraction of requests traced end to end (0 disables minted traces; inbound sampled traceparents are always honored)")
+	traceRing := fs.Int("trace-ring", evorec.DefaultTraceRing,
+		"completed traces retained for GET /debug/traces (minimum 1)")
+	traceSlow := fs.Duration("trace-slow", time.Second,
+		"log any sampled trace slower than this as a structured warning (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	var datasets, mems repeatedFlag
 	fs.Var(&datasets, "dataset", "name=dir of a binary store to serve (repeatable)")
@@ -85,6 +91,15 @@ func cmdServe(args []string) error {
 	if *retryAfter < 1 {
 		return fmt.Errorf("-retry-after must be >= 1, got %d", *retryAfter)
 	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0, 1], got %g", *traceSample)
+	}
+	if *traceRing < 1 {
+		return fmt.Errorf("-trace-ring must be >= 1, got %d", *traceRing)
+	}
+	if *traceSlow < 0 {
+		return fmt.Errorf("-trace-slow must be >= 0, got %s", *traceSlow)
+	}
 	switch *logLevel {
 	case "debug", "info", "warn", "error":
 	default:
@@ -97,10 +112,16 @@ func cmdServe(args []string) error {
 	logger := evorec.NewLogger(os.Stderr, *logLevel)
 	reg := evorec.NewMetricsRegistry()
 	reg.PublishExpvar("evorec")
+	tracer := evorec.NewTracer(evorec.TracerConfig{
+		SampleRate:    *traceSample,
+		RingSize:      *traceRing,
+		SlowThreshold: *traceSlow,
+		Logger:        logger,
+	})
 
 	svc := evorec.NewService(evorec.ServiceConfig{
 		CacheCap: *cacheCap, FeedDir: *feedDir, FeedWorkers: *feedWorkers,
-		Metrics: reg,
+		Metrics: reg, Tracer: tracer, Logger: logger,
 	})
 	for _, spec := range datasets {
 		name, dir, found := strings.Cut(spec, "=")
@@ -139,6 +160,7 @@ func cmdServe(args []string) error {
 			RetryAfterSeconds: *retryAfter,
 			Metrics:           reg,
 			Logger:            logger,
+			Tracer:            tracer,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
@@ -156,8 +178,14 @@ func cmdServe(args []string) error {
 	if *opsAddr != "" {
 		opsSrv = &http.Server{
 			Addr: *opsAddr,
-			Handler: evorec.NewOpsMux(reg, evorec.ServiceBuildInfo("evorec"), func() map[string]any {
-				return map[string]any{"datasets": len(svc.Names())}
+			Handler: evorec.NewOpsMuxWithConfig(evorec.OpsMuxConfig{
+				Registry: reg,
+				Tracer:   tracer,
+				Info:     evorec.ServiceBuildInfo("evorec"),
+				Dynamic: func() map[string]any {
+					return map[string]any{"datasets": len(svc.Names())}
+				},
+				Ready: svc.Ready,
 			}),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
@@ -169,9 +197,10 @@ func cmdServe(args []string) error {
 			}
 		}()
 		logger.Info("ops listener up", "addr", *opsAddr,
-			"endpoints", "/metrics /healthz /debug/pprof /debug/vars")
+			"endpoints", "/metrics /healthz /readyz /debug/traces /debug/pprof /debug/vars")
 	}
-	logger.Info("service listening", "addr", *addr, "retry_after", *retryAfter)
+	logger.Info("service listening", "addr", *addr, "retry_after", *retryAfter,
+		"trace_sample", *traceSample)
 
 	select {
 	case err := <-errc:

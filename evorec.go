@@ -850,6 +850,32 @@ func NewOpsMux(reg *MetricsRegistry, info OpsBuildInfo, dynamic func() map[strin
 	return obs.NewOpsMux(reg, info, dynamic)
 }
 
+// OpsMuxConfig parameterizes the full operator surface, adding the
+// readiness probe (/readyz) and the trace ring (/debug/traces) to what
+// NewOpsMux mounts.
+type OpsMuxConfig = obs.OpsConfig
+
+// NewOpsMuxWithConfig builds the operator mux from an explicit
+// configuration.
+func NewOpsMuxWithConfig(cfg OpsMuxConfig) *http.ServeMux { return obs.OpsMux(cfg) }
+
+// Tracer is the request-scoped tracing substrate: W3C traceparent
+// join/mint, head sampling, a fixed ring of completed traces served at
+// GET /debug/traces, and slow-trace logging (see DESIGN.md §12).
+type Tracer = obs.Tracer
+
+// TracerConfig parameterizes a Tracer; the zero value samples everything
+// into a DefaultTraceRing-sized ring and never logs slow traces.
+type TracerConfig = obs.TracerConfig
+
+// DefaultTraceRing is the trace ring capacity a zero TracerConfig keeps.
+const DefaultTraceRing = obs.DefaultTraceRing
+
+// NewTracer builds a tracer. Wire it into HTTPServerConfig.Tracer (root
+// spans per request), ServiceConfig.Tracer (store/feed child spans) and
+// OpsMuxConfig.Tracer (/debug/traces) — the same instance in all three.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
 // FeedTelemetry is the feed subsystem's fan-out observation hook.
 type FeedTelemetry = feed.Telemetry
 

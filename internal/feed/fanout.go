@@ -1,7 +1,9 @@
 package feed
 
 import (
+	"context"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,7 +38,12 @@ func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, e
 	return f.FanOutIndexed(olderID, newerID, recommend.NewItemIndex(items))
 }
 
-// FanOutIndexed delivers one committed version pair to the standing
+// FanOutIndexed is FanOutIndexedCtx without a tracing context.
+func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) (Stats, error) {
+	return f.FanOutIndexedCtx(context.Background(), olderID, newerID, idx)
+}
+
+// FanOutIndexedCtx delivers one committed version pair to the standing
 // subscriber population: it intersects the indexed items' entity terms with
 // the inverted interest index, scores only the matched subscribers (sharded
 // across the bounded worker pool, through the same flat-kernel relatedness
@@ -47,7 +54,13 @@ func (f *Feed) FanOut(olderID, newerID string, items []recommend.Item) (Stats, e
 // consistent registry snapshot: a subscriber present when FanOut starts
 // gets its full batch exactly once, however much churn races the commit.
 // Cost scales with the affected set, not the pool.
-func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) (Stats, error) {
+//
+// When ctx carries a sampled trace, the fan-out is recorded as a
+// "feed.fanout" span nesting "feed.match" (index intersection), one
+// "feed.score" span per worker, "feed.append" (log appends) and
+// "feed.persist" (durable rewrite). Ledger-skipped fan-outs are not
+// traced — they do no work worth a timeline.
+func (f *Feed) FanOutIndexedCtx(ctx context.Context, olderID, newerID string, idx *recommend.ItemIndex) (Stats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	start := time.Now()
@@ -60,9 +73,14 @@ func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) 
 		}
 		return st, nil
 	}
+	ctx, end := startSpan(f.spans, ctx, "feed.fanout")
+	_, mend := startSpan(f.spans, ctx, "feed.match")
 	affected := f.affectedLocked(idx)
+	mend("affected", strconv.Itoa(len(affected)),
+		"subscribers", strconv.Itoa(st.Subscribers))
 	st.Affected = len(affected)
-	notes := f.scoreLocked(affected, idx, olderID, newerID)
+	notes := f.scoreLocked(ctx, affected, idx, olderID, newerID)
+	_, aend := startSpan(f.spans, ctx, "feed.append")
 	changed := make([]string, 0, len(affected))
 	for i, id := range affected {
 		if len(notes[i]) == 0 {
@@ -81,6 +99,7 @@ func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) 
 		lg.trim(f.maxLog)
 		changed = append(changed, id)
 	}
+	aend("notified", strconv.Itoa(st.Notified))
 	f.done[key] = donePair{older: olderID, newer: newerID}
 	// Delivery is complete in memory here; the observation covers scoring
 	// and log appends and is recorded even when persistence below degrades,
@@ -88,7 +107,12 @@ func (f *Feed) FanOutIndexed(olderID, newerID string, idx *recommend.ItemIndex) 
 	if f.tel != nil {
 		f.tel.ObserveFanOut(st.Affected, st.Notified, time.Since(start))
 	}
-	if err := f.persistFanOutLocked(changed); err != nil {
+	_, pend := startSpan(f.spans, ctx, "feed.persist")
+	err := f.persistFanOutLocked(changed)
+	pend("users", strconv.Itoa(len(changed)))
+	end("older", olderID, "newer", newerID,
+		"affected", strconv.Itoa(st.Affected), "notified", strconv.Itoa(st.Notified))
+	if err != nil {
 		return st, err
 	}
 	return st, nil
@@ -126,7 +150,7 @@ func (f *Feed) affectedLocked(idx *recommend.ItemIndex) []string {
 // through core.UserNotificationsIndexed, inheriting the kernel's pooled
 // per-call scratch. Workers only read the registry (the caller holds the
 // write lock, so nothing mutates underneath them).
-func (f *Feed) scoreLocked(affected []string, idx *recommend.ItemIndex, olderID, newerID string) [][]core.Notification {
+func (f *Feed) scoreLocked(ctx context.Context, affected []string, idx *recommend.ItemIndex, olderID, newerID string) [][]core.Notification {
 	out := make([][]core.Notification, len(affected))
 	if len(affected) == 0 {
 		return out
@@ -140,10 +164,14 @@ func (f *Feed) scoreLocked(affected []string, idx *recommend.ItemIndex, olderID,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			_, send := startSpan(f.spans, ctx, "feed.score")
+			n := 0
 			for i := w; i < len(affected); i += workers {
 				u := f.subs[affected[i]]
 				out[i] = core.UserNotificationsIndexed(u, idx, olderID, newerID, f.threshold, f.k)
+				n++
 			}
+			send("worker", strconv.Itoa(w), "scored", strconv.Itoa(n))
 		}(w)
 	}
 	wg.Wait()

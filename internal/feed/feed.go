@@ -30,6 +30,7 @@
 package feed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -85,6 +86,34 @@ type Config struct {
 	// uninstrumented). The feed declares the interface; internal/obs
 	// provides a registry-backed implementation (obs.FeedSink).
 	Telemetry Telemetry
+	// Spans is the optional tracing span source (nil = untraced); see
+	// Spanner.
+	Spans Spanner
+}
+
+// Spanner opens tracing spans around the fan-out phases (match, worker
+// scoring, log append, persist). The feed declares the contract and
+// internal/obs satisfies it structurally (obs.ChildSpanner), mirroring
+// Telemetry, so this package never imports the tracing substrate.
+// StartSpan returns a context carrying the child span and a completion
+// callback taking alternating key/value attribute pairs; on a context with
+// no sampled trace it returns the input context and a shared no-op
+// callback. Implementations must be safe for concurrent use — worker
+// goroutines open per-worker spans.
+type Spanner interface {
+	StartSpan(ctx context.Context, name string) (context.Context, func(attrs ...string))
+}
+
+// nopSpanEnd is the completion callback startSpan hands out when no
+// Spanner is installed.
+var nopSpanEnd = func(...string) {}
+
+// startSpan opens a child span when a Spanner is installed, else a no-op.
+func startSpan(s Spanner, ctx context.Context, name string) (context.Context, func(attrs ...string)) {
+	if s == nil {
+		return ctx, nopSpanEnd
+	}
+	return s.StartSpan(ctx, name)
 }
 
 // Telemetry is the narrow sink fan-out events report through. Like the
@@ -151,6 +180,7 @@ type Feed struct {
 	threshold float64
 	k         int
 	tel       Telemetry // optional; nil = uninstrumented
+	spans     Spanner   // optional; nil = untraced
 
 	mu   sync.RWMutex
 	dict *rdf.Dict                          // feed-private interner of interest terms
@@ -195,6 +225,7 @@ func Open(cfg Config) (*Feed, error) {
 		threshold: cfg.Threshold,
 		k:         cfg.K,
 		tel:       cfg.Telemetry,
+		spans:     cfg.Spans,
 		dict:      rdf.NewDict(),
 		subs:      make(map[string]*profile.Profile),
 		idx:       make(map[rdf.TermID]map[string]struct{}),

@@ -26,8 +26,19 @@ func formatFloat(v float64) string {
 // WritePrometheus writes every family in the text exposition format
 // (version 0.0.4): HELP and TYPE lines followed by the samples, families
 // sorted by name, series sorted by label values — deterministic, which is
-// what the golden test locks.
+// what the golden test locks. Exemplars are never emitted here; the opt-in
+// WriteExposition variant carries them.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WriteExposition(w, false)
+}
+
+// WriteExposition writes the text exposition, optionally suffixing
+// histogram bucket lines with their latest exemplar in the OpenMetrics
+// form (`… # {trace_id="…"} value`), which links a bucket to the trace in
+// /debug/traces that landed in it. The default scrape stays plain 0.0.4 —
+// exemplars are opt-in via /metrics?exemplars=1 because classic text-format
+// parsers reject the trailing comment.
+func (r *Registry) WriteExposition(w io.Writer, exemplars bool) error {
 	if r == nil {
 		return nil
 	}
@@ -46,13 +57,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteByte(' ')
 		bw.WriteString(fam.inst.kind())
 		bw.WriteByte('\n')
-		scratch = fam.inst.series(fam.name, scratch[:0])
+		scratch = fam.inst.series(fam.name, scratch[:0], exemplars)
 		for _, s := range scratch {
 			bw.WriteString(fam.name)
 			bw.WriteString(s.suffix)
 			bw.WriteString(s.labels)
 			bw.WriteByte(' ')
 			bw.WriteString(formatFloat(s.value))
+			bw.WriteString(s.exemplar)
 			bw.WriteByte('\n')
 		}
 	}
@@ -70,7 +82,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 	}
 	var scratch []sample
 	for _, fam := range r.families() {
-		scratch = fam.inst.series(fam.name, scratch[:0])
+		scratch = fam.inst.series(fam.name, scratch[:0], false)
 		for _, s := range scratch {
 			out[fam.name+s.suffix+s.labels] = s.value
 		}
@@ -78,11 +90,13 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// Handler returns the GET /metrics endpoint.
+// Handler returns the GET /metrics endpoint. `?exemplars=1` switches to
+// the exemplar-carrying exposition.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w) //nolint:errcheck // client went away; nothing to do
+		//nolint:errcheck // client went away; nothing to do
+		r.WriteExposition(w, req.URL.Query().Get("exemplars") == "1")
 	})
 }
 

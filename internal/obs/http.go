@@ -3,6 +3,7 @@ package obs
 import (
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -28,17 +29,20 @@ type HTTPMetrics struct {
 	inFlight *Gauge
 	bytes    *CounterVec
 	logger   *slog.Logger
+	tracer   *Tracer
 }
 
 // NewHTTPMetrics builds (or rebinds, registration is get-or-create) the
-// HTTP instrument set on reg. Either argument may be nil: a nil registry
-// disables metrics, a nil logger disables access logs, and with both nil
-// Wrap returns handlers unchanged.
-func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
-	if reg == nil && logger == nil {
+// HTTP instrument set on reg. Every argument may be nil: a nil registry
+// disables metrics, a nil logger disables access logs, a nil tracer
+// disables traceparent handling, and with all three nil Wrap returns
+// handlers unchanged.
+func NewHTTPMetrics(reg *Registry, logger *slog.Logger, tracer *Tracer) *HTTPMetrics {
+	if reg == nil && logger == nil && tracer == nil {
 		return nil
 	}
 	return &HTTPMetrics{
+		tracer: tracer,
 		requests: reg.CounterVec("evorec_http_requests_total",
 			"HTTP requests served, by route pattern, method and status class.",
 			"route", "method", "class"),
@@ -104,10 +108,12 @@ func (w *respWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Wrap instruments one route: request-ID propagation, in-flight gauge,
-// latency histogram, status-class and byte counters, and one access-log
-// line per request. A nil receiver returns next unchanged, so the
-// uninstrumented server is byte-for-byte the PR 6 one.
+// Wrap instruments one route: request-ID propagation, traceparent
+// join/mint with a root span per sampled request, in-flight gauge, latency
+// histogram (with a trace exemplar when sampled), status-class and byte
+// counters, and one access-log line per request. A nil receiver returns
+// next unchanged, so the uninstrumented server is byte-for-byte the PR 6
+// one.
 func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 	if m == nil {
 		return next
@@ -121,29 +127,63 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 			id = NewRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
+		ctx := WithRequestID(r.Context(), id)
+		var span *Span
+		traceID := ""
+		if m.tracer != nil {
+			var echo string
+			var sampled bool
+			ctx, span, echo, sampled = m.tracer.StartRequest(ctx, r.Header.Get(TraceparentHeader), route, id)
+			if echo != "" {
+				w.Header().Set(TraceparentHeader, echo)
+			}
+			if sampled {
+				traceID = span.TraceID().String()
+			}
+		}
 		rw := &respWriter{ResponseWriter: w}
 		start := time.Now()
 		m.inFlight.Add(1)
-		next.ServeHTTP(rw, r.WithContext(WithRequestID(r.Context(), id)))
+		next.ServeHTTP(rw, r.WithContext(ctx))
 		m.inFlight.Add(-1)
 		elapsed := time.Since(start)
 		status := rw.status
 		if status == 0 {
 			status = http.StatusOK // body-less handler: net/http defaults to 200
 		}
-		latency.Observe(elapsed.Seconds())
+		if span != nil {
+			span.SetAttr("method", r.Method)
+			span.SetAttr("status", strconv.Itoa(status))
+			span.End()
+			latency.ObserveExemplar(elapsed.Seconds(), traceID)
+		} else {
+			latency.Observe(elapsed.Seconds())
+		}
 		requests.With(route, r.Method, statusClass(status)).Inc()
 		bytes.Add(float64(rw.bytes))
 		if m.logger != nil {
-			m.logger.Info("request",
-				"request_id", id,
-				"method", r.Method,
-				"route", route,
-				"path", r.URL.Path,
-				"status", status,
-				"bytes", rw.bytes,
-				"duration", elapsed,
-			)
+			if traceID != "" {
+				m.logger.Info("request",
+					"request_id", id,
+					"trace_id", traceID,
+					"method", r.Method,
+					"route", route,
+					"path", r.URL.Path,
+					"status", status,
+					"bytes", rw.bytes,
+					"duration", elapsed,
+				)
+			} else {
+				m.logger.Info("request",
+					"request_id", id,
+					"method", r.Method,
+					"route", route,
+					"path", r.URL.Path,
+					"status", status,
+					"bytes", rw.bytes,
+					"duration", elapsed,
+				)
+			}
 		}
 	})
 }

@@ -52,7 +52,7 @@ func (c *Counter) Value() float64 {
 
 func (c *Counter) kind() string { return "counter" }
 func (c *Counter) help() string { return c.h }
-func (c *Counter) series(name string, out []sample) []sample {
+func (c *Counter) series(name string, out []sample, withEx bool) []sample {
 	return append(out, sample{value: c.Value()})
 }
 
@@ -91,7 +91,7 @@ func (g *Gauge) Value() float64 {
 
 func (g *Gauge) kind() string { return "gauge" }
 func (g *Gauge) help() string { return g.h }
-func (g *Gauge) series(name string, out []sample) []sample {
+func (g *Gauge) series(name string, out []sample, withEx bool) []sample {
 	return append(out, sample{value: g.Value()})
 }
 
@@ -116,15 +116,28 @@ type Histogram struct {
 	h      string
 	bounds []float64 // upper bounds, increasing; +Inf implicit
 	counts []atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
+	ex     []atomic.Pointer[Exemplar] // latest exemplar per bucket
+	sum    atomic.Uint64              // float64 bits
 	count  atomic.Uint64
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// /metrics latency bucket can point at the timeline in /debug/traces that
+// landed there. Each bucket keeps only its most recent exemplar.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(help string, buckets []float64) *Histogram {
 	if buckets == nil {
 		buckets = DefBuckets
 	}
-	return &Histogram{h: help, bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+	return &Histogram{
+		h: help, bounds: buckets,
+		counts: make([]atomic.Uint64, len(buckets)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(buckets)+1),
+	}
 }
 
 // Observe records one value.
@@ -136,6 +149,23 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	addFloat(&h.sum, v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the landing bucket's exemplar with (traceID, v). The store is a
+// single atomic pointer swap, so traced observations cost one allocation
+// over Observe and untraced ones (traceID == "") cost nothing extra.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 }
 
 // ObserveSince records the seconds elapsed since start.
@@ -164,13 +194,26 @@ func (h *Histogram) Sum() float64 {
 
 func (h *Histogram) kind() string { return "histogram" }
 func (h *Histogram) help() string { return h.h }
-func (h *Histogram) series(name string, out []sample) []sample {
-	return h.seriesLabeled(nil, nil, out)
+func (h *Histogram) series(name string, out []sample, withEx bool) []sample {
+	return h.seriesLabeled(nil, nil, out, withEx)
+}
+
+// exemplarTail renders bucket i's exemplar in the OpenMetrics form
+// (" # {trace_id=\"…\"} value"), or "".
+func (h *Histogram) exemplarTail(i int, withEx bool) string {
+	if !withEx {
+		return ""
+	}
+	e := h.ex[i].Load()
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + e.TraceID + `"} ` + formatFloat(e.Value)
 }
 
 // seriesLabeled renders the histogram's lines with extra labels (the vec
 // case); the le label is appended per bucket.
-func (h *Histogram) seriesLabeled(keys, values []string, out []sample) []sample {
+func (h *Histogram) seriesLabeled(keys, values []string, out []sample, withEx bool) []sample {
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
@@ -178,7 +221,8 @@ func (h *Histogram) seriesLabeled(keys, values []string, out []sample) []sample 
 			suffix: "_bucket",
 			labels: labelBlock(append(append([]string(nil), keys...), "le"),
 				append(append([]string(nil), values...), formatFloat(b))),
-			value: float64(cum),
+			value:    float64(cum),
+			exemplar: h.exemplarTail(i, withEx),
 		})
 	}
 	cum += h.counts[len(h.bounds)].Load()
@@ -186,7 +230,8 @@ func (h *Histogram) seriesLabeled(keys, values []string, out []sample) []sample 
 		suffix: "_bucket",
 		labels: labelBlock(append(append([]string(nil), keys...), "le"),
 			append(append([]string(nil), values...), "+Inf")),
-		value: float64(cum),
+		value:    float64(cum),
+		exemplar: h.exemplarTail(len(h.bounds), withEx),
 	})
 	base := labelBlock(keys, values)
 	out = append(out, sample{suffix: "_sum", labels: base, value: h.Sum()})
@@ -238,7 +283,7 @@ func (v *CounterVec) With(values ...string) *Counter {
 
 func (v *CounterVec) kind() string { return "counter" }
 func (v *CounterVec) help() string { return v.h }
-func (v *CounterVec) series(name string, out []sample) []sample {
+func (v *CounterVec) series(name string, out []sample, withEx bool) []sample {
 	v.mu.RLock()
 	keys := append([]string(nil), v.order...)
 	v.mu.RUnlock()
@@ -292,7 +337,7 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 
 func (v *HistogramVec) kind() string { return "histogram" }
 func (v *HistogramVec) help() string { return v.h }
-func (v *HistogramVec) series(name string, out []sample) []sample {
+func (v *HistogramVec) series(name string, out []sample, withEx bool) []sample {
 	v.mu.RLock()
 	keys := append([]string(nil), v.order...)
 	v.mu.RUnlock()
@@ -301,7 +346,7 @@ func (v *HistogramVec) series(name string, out []sample) []sample {
 		v.mu.RLock()
 		h, vals := v.m[key], v.vals[key]
 		v.mu.RUnlock()
-		out = h.seriesLabeled(v.labels, vals, out)
+		out = h.seriesLabeled(v.labels, vals, out, withEx)
 	}
 	return out
 }

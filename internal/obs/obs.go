@@ -51,8 +51,9 @@ type instrument interface {
 	// help is the HELP line text.
 	help() string
 	// series appends the family's sample lines (name{labels} value) in
-	// deterministic order.
-	series(name string, out []sample) []sample
+	// deterministic order. withEx asks histogram buckets to attach their
+	// latest exemplar; other instruments ignore it.
+	series(name string, out []sample, withEx bool) []sample
 }
 
 // sample is one exposition line before formatting.
@@ -63,6 +64,9 @@ type sample struct {
 	labels string
 	// value is the sample value.
 	value float64
+	// exemplar is the pre-rendered exemplar tail (" # {trace_id=...} v"),
+	// or "" — emitted only by the opt-in exemplar exposition.
+	exemplar string
 }
 
 // get returns the named instrument, creating it with mk on first use. A

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name        string
+		h           string
+		ok, sampled bool
+	}{
+		{"valid sampled", valid, true, true},
+		{"valid unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true, false},
+		{"empty", "", false, false},
+		{"short", valid[:54], false, false},
+		{"truncated ids", "00-4bf92f35-00f067aa-01", false, false},
+		{"bad separator", strings.Replace(valid, "-", "_", 1), false, false},
+		{"version ff", "ff" + valid[2:], false, false},
+		{"version not hex", "0x" + valid[2:], false, false},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false, false},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false, false},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false, false},
+		{"bad flags", valid[:53] + "zz", false, false},
+		{"v00 with trailing field", valid + "-extra", false, false},
+		{"v00 with trailing junk", valid + "x", false, false},
+		{"future version exact length", "01" + valid[2:], true, true},
+		{"future version extra field", "01" + valid[2:] + "-extra", true, true},
+		{"future version trailing junk", "01" + valid[2:] + "x", false, false},
+		{"flags other bits set", valid[:53] + "03", true, true},
+		{"flags other bits unsampled", valid[:53] + "02", true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tid, parent, sampled, ok := ParseTraceparent(tc.h)
+			if ok != tc.ok {
+				t.Fatalf("ParseTraceparent(%q) ok = %v, want %v", tc.h, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if sampled != tc.sampled {
+				t.Errorf("sampled = %v, want %v", sampled, tc.sampled)
+			}
+			if tid.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+				t.Errorf("trace ID = %s", tid.String())
+			}
+			if parent.String() != "00f067aa0ba902b7" {
+				t.Errorf("parent ID = %s", parent.String())
+			}
+		})
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	tid, sid := newTraceID(), newSpanID()
+	h := FormatTraceparent(tid, sid, true)
+	gotT, gotS, sampled, ok := ParseTraceparent(h)
+	if !ok || gotT != tid || gotS != sid || !sampled {
+		t.Fatalf("round trip failed: %q -> (%v %v %v %v)", h, gotT, gotS, sampled, ok)
+	}
+	if _, _, sampled, ok = ParseTraceparent(FormatTraceparent(tid, sid, false)); !ok || sampled {
+		t.Fatalf("unsampled round trip: ok=%v sampled=%v", ok, sampled)
+	}
+}
+
+func TestStartRequestJoinsInbound(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 0}) // minted traces never sample
+	in := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	ctx, span, echo, sampled := tr.StartRequest(context.Background(), in, "/r", "req-1")
+	if !sampled || span == nil {
+		t.Fatalf("inbound sampled traceparent must override SampleRate=0")
+	}
+	if got := span.TraceID().String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace ID not adopted: %s", got)
+	}
+	if !strings.HasPrefix(echo, "00-4bf92f3577b34da6a3ce929d0e0e4736-") || !strings.HasSuffix(echo, "-01") {
+		t.Fatalf("echo %q must keep the inbound trace ID and sampled flag", echo)
+	}
+	if SpanFromContext(ctx) != span {
+		t.Fatal("context must carry the root span")
+	}
+	span.End()
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	if traces[0].Spans[0].ParentID != "00f067aa0ba902b7" {
+		t.Fatalf("root must record the remote parent, got %q", traces[0].Spans[0].ParentID)
+	}
+}
+
+func TestStartRequestUnsampledInbound(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1}) // minted traces always sample
+	in := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	ctx, span, echo, sampled := tr.StartRequest(context.Background(), in, "/r", "req-1")
+	if sampled || span != nil {
+		t.Fatal("an unsampled inbound traceparent must suppress recording even at SampleRate=1")
+	}
+	if !strings.HasPrefix(echo, "00-4bf92f3577b34da6a3ce929d0e0e4736-") || !strings.HasSuffix(echo, "-00") {
+		t.Fatalf("echo %q must propagate the inbound IDs with the unsampled flag", echo)
+	}
+	// The whole downstream pipeline must stay a no-op on the unsampled ctx.
+	cctx, child := StartSpan(ctx, "child")
+	if child != nil || cctx != ctx {
+		t.Fatal("StartSpan on an unsampled context must return (ctx, nil)")
+	}
+	child.SetAttr("k", "v")
+	child.End()
+	if len(tr.Traces()) != 0 {
+		t.Fatal("nothing may publish for an unsampled request")
+	}
+}
+
+func TestStartRequestMalformedMints(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	_, span, echo, sampled := tr.StartRequest(context.Background(), "garbage", "/r", "req-1")
+	if !sampled || span == nil {
+		t.Fatal("malformed traceparent must fall back to minting")
+	}
+	if strings.Contains(echo, "garbage") {
+		t.Fatalf("echo %q must be a fresh canonical header", echo)
+	}
+	if tid, _, s, ok := ParseTraceparent(echo); !ok || !s || tid != span.TraceID() {
+		t.Fatalf("echo %q must carry the minted sampled IDs", echo)
+	}
+}
+
+func TestSpanTreePublish(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	ctx, root := tr.StartRoot(context.Background(), "job")
+	cctx, child := StartSpan(ctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.SetAttr("k", "v")
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got.Spans))
+	}
+	// Children end before the root, so the root is the final record.
+	if got.Spans[2].Name != "job" || got.Spans[2].ParentID != "" {
+		t.Fatalf("root must be last and parentless, got %+v", got.Spans[2])
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].ParentID != byName["job"].SpanID {
+		t.Error("child must parent on the root")
+	}
+	if byName["grandchild"].ParentID != byName["child"].SpanID {
+		t.Error("grandchild must parent on the child")
+	}
+	if a := byName["grandchild"].Attrs; len(a) != 1 || a[0].Key != "k" || a[0].Value != "v" {
+		t.Errorf("grandchild attrs = %+v", a)
+	}
+	for _, s := range got.Spans {
+		if s.DurationNS > got.DurationNS {
+			t.Errorf("span %q duration %d exceeds trace duration %d", s.Name, s.DurationNS, got.DurationNS)
+		}
+	}
+}
+
+func TestLateChildDropped(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	ctx, root := tr.StartRoot(context.Background(), "job")
+	_, child := StartSpan(ctx, "straggler")
+	root.End()
+	child.End() // after the trace published; must not mutate it
+	traces := tr.Traces()
+	if len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatalf("straggler must be dropped, got %d traces / %d spans",
+			len(traces), len(traces[0].Spans))
+	}
+}
+
+func TestSlowTraceLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(TracerConfig{SlowThreshold: time.Nanosecond, Logger: logger})
+	ctx, root := tr.StartRoot(context.Background(), "slow-job")
+	time.Sleep(time.Millisecond)
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	out := buf.String()
+	if !strings.Contains(out, "slow trace") || !strings.Contains(out, "route=slow-job") {
+		t.Fatalf("slow trace warning missing: %q", out)
+	}
+	if !strings.Contains(out, "trace_id="+root.TraceID().String()) {
+		t.Fatalf("slow trace warning must carry the trace ID: %q", out)
+	}
+
+	// Under threshold: silent.
+	buf.Reset()
+	fast := NewTracer(TracerConfig{SlowThreshold: time.Hour, Logger: logger})
+	_, r2 := fast.StartRoot(context.Background(), "fast-job")
+	r2.End()
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace must not log: %q", buf.String())
+	}
+}
+
+func TestNilTracerAndNilSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, span, echo, sampled := tr.StartRequest(context.Background(), "", "/r", "id")
+	if span != nil || echo != "" || sampled {
+		t.Fatal("nil tracer must disable everything")
+	}
+	if tr.Traces() != nil {
+		t.Fatal("nil tracer snapshot must be nil")
+	}
+	if _, s := tr.StartRoot(ctx, "x"); s != nil {
+		t.Fatal("nil tracer StartRoot must return nil span")
+	}
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.End()
+	if !nilSpan.TraceID().IsZero() {
+		t.Fatal("nil span trace ID must be zero")
+	}
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Fatalf("TraceIDFrom on untraced ctx = %q", got)
+	}
+}
+
+// TestRingConcurrent exercises concurrent publishes and snapshots; run with
+// -race it verifies the ring's atomics carry all synchronization.
+func TestRingConcurrent(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 8})
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.StartRoot(context.Background(), "burst")
+				_, child := StartSpan(ctx, "child")
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, got := range tr.Traces() {
+				if got.TraceID == "" || len(got.Spans) == 0 {
+					t.Error("snapshot returned an incomplete trace")
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(tr.Traces()); got != 8 {
+		t.Fatalf("ring must hold exactly its capacity, got %d", got)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	for _, route := range []string{"/a", "/a", "/b"} {
+		_, root := tr.StartRoot(context.Background(), route)
+		root.End()
+	}
+
+	get := func(url string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+		rec := httptest.NewRecorder()
+		tr.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var body map[string]json.RawMessage
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("GET %s: bad JSON: %v", url, err)
+			}
+		}
+		return rec, body
+	}
+	count := func(body map[string]json.RawMessage) int {
+		var n int
+		if err := json.Unmarshal(body["count"], &n); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	if _, body := get("/debug/traces"); count(body) != 3 {
+		t.Errorf("unfiltered count = %d, want 3", count(body))
+	}
+	if _, body := get("/debug/traces?route=/a"); count(body) != 2 {
+		t.Errorf("route filter count = %d, want 2", count(body))
+	}
+	if _, body := get("/debug/traces?limit=1"); count(body) != 1 {
+		t.Errorf("limit count = %d, want 1", count(body))
+	}
+	if _, body := get("/debug/traces?min_ms=60000"); count(body) != 0 {
+		t.Errorf("min_ms filter count = %d, want 0", count(body))
+	}
+	if rec, _ := get("/debug/traces?min_ms=abc"); rec.Code != 400 {
+		t.Errorf("bad min_ms status = %d, want 400", rec.Code)
+	}
+	if rec, _ := get("/debug/traces?limit=-1"); rec.Code != 400 {
+		t.Errorf("bad limit status = %d, want 400", rec.Code)
+	}
+}

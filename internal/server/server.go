@@ -65,6 +65,10 @@ type Config struct {
 	// Logger receives one structured access line per request (request ID,
 	// route, status, duration). Nil disables access logging.
 	Logger *slog.Logger
+	// Tracer joins or mints a W3C traceparent per request, opens a root
+	// span per sampled request, and threads the trace context through every
+	// handler into the service/store/feed layers. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Server is the HTTP front-end over a Service. It implements http.Handler
@@ -89,7 +93,7 @@ func NewWithConfig(svc *service.Service, cfg Config) *Server {
 	s := &Server{
 		svc:        svc,
 		mux:        http.NewServeMux(),
-		httpm:      obs.NewHTTPMetrics(cfg.Metrics, cfg.Logger),
+		httpm:      obs.NewHTTPMetrics(cfg.Metrics, cfg.Logger, cfg.Tracer),
 		retryAfter: strconv.Itoa(retry),
 	}
 	if cfg.Metrics != nil {
@@ -98,6 +102,10 @@ func NewWithConfig(svc *service.Service, cfg Config) *Server {
 		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	}
 	s.mux.Handle("GET /healthz", obs.HealthHandler(obs.FromBuildInfo("evorec"), nil))
+	// Liveness and readiness split: /healthz answers 200 while the process
+	// is up; /readyz answers 503 during WAL replay, checkpoints and the
+	// shutdown drain, so load balancers steer around recovery windows.
+	s.mux.Handle("GET /readyz", obs.ReadyHandler(svc.Ready))
 	s.route("GET /v1/datasets", s.handleList)
 	s.route("GET /v1/datasets/{name}", s.handleInspect)
 	s.route("POST /v1/datasets/{name}", s.handleCreate)
@@ -340,7 +348,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, fmt.Errorf("reading commit body: %w", err))
 		return
 	}
-	info, err := d.Commit(r.PathValue("id"), bytes.NewReader(body))
+	info, err := d.CommitCtx(r.Context(), r.PathValue("id"), bytes.NewReader(body))
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -359,7 +367,13 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		// FeedError reports a fan-out failure for an otherwise durable
 		// commit (the version landed; the feed delivery degraded).
 		FeedError string `json:"feed_error,omitempty"`
-	}{ID: info.ID, Triples: info.Triples, Kind: info.Kind, FeedError: info.FeedError}
+		// RequestID/TraceID attribute the commit (and its fan-out) to the
+		// originating request; absent when untraced, so the pre-tracing
+		// response shape is unchanged.
+		RequestID string `json:"request_id,omitempty"`
+		TraceID   string `json:"trace_id,omitempty"`
+	}{ID: info.ID, Triples: info.Triples, Kind: info.Kind, FeedError: info.FeedError,
+		RequestID: info.RequestID, TraceID: info.TraceID}
 	if info.Feed != nil {
 		out.Feed = &feedJSON{
 			Subscribers: info.Feed.Subscribers,
@@ -382,7 +396,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	stats, err := d.Delta(older, newer)
+	stats, err := d.DeltaCtx(r.Context(), older, newer)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -422,7 +436,7 @@ func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	evals, err := d.Measures(older, newer, k)
+	evals, err := d.MeasuresCtx(r.Context(), older, newer, k)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -541,9 +555,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			pool = append(pool, p)
 		}
 		pol := core.PrivacyPolicy{KAnonymity: kanon, Epsilon: epsilon, Seed: int64(seed)}
-		sel, err = d.RecommendPrivate(pool, 0, req, pol)
+		sel, err = d.RecommendPrivateCtx(r.Context(), pool, 0, req, pol)
 	} else {
-		sel, err = d.Recommend(u, req)
+		sel, err = d.RecommendCtx(r.Context(), u, req)
 	}
 	if err != nil {
 		s.writeErr(w, err)
@@ -614,7 +628,7 @@ func (s *Server) handleRecommendGroup(w http.ResponseWriter, r *http.Request) {
 		OlderID: older, NewerID: newer, K: k,
 		Aggregation: agg, FairGreedy: fair, FairAlpha: alpha,
 	}
-	sel, err := d.RecommendGroup(g, req)
+	sel, err := d.RecommendGroupCtx(r.Context(), g, req)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -815,7 +829,7 @@ func (s *Server) handleNotify(w http.ResponseWriter, r *http.Request) {
 		}
 		pool = append(pool, p)
 	}
-	notes, err := d.Notify(pool, older, newer, threshold, k)
+	notes, err := d.NotifyCtx(r.Context(), pool, older, newer, threshold, k)
 	if err != nil {
 		s.writeErr(w, err)
 		return

@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
+	"evorec/internal/obs"
 	"evorec/internal/rdf"
 	"evorec/internal/store"
 )
@@ -23,9 +26,24 @@ type commitResult struct {
 
 // commitReq is one commit waiting in the group-commit queue.
 type commitReq struct {
-	id   string
-	r    io.Reader
-	done chan commitResult // buffered(1); exactly one result per request
+	// ctx is the originating request's context (nil = untraced background
+	// commit): its trace carries through parse, store append and fan-out,
+	// and its request/trace IDs land in CommitInfo.
+	ctx context.Context
+	// queueSpan times enqueue-to-drain ("commit.queue_wait"); nil when the
+	// request is unsampled.
+	queueSpan *obs.Span
+	id        string
+	r         io.Reader
+	done      chan commitResult // buffered(1); exactly one result per request
+}
+
+// reqCtx resolves the request's context, never nil.
+func (req *commitReq) reqCtx() context.Context {
+	if req.ctx != nil {
+		return req.ctx
+	}
+	return context.Background()
 }
 
 // committer is a dataset's group-commit gate. Concurrent Commit calls
@@ -132,7 +150,11 @@ func (d *Dataset) checkpointStore(reason string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.sds.WALSize() > 0 {
+		// A checkpoint fsyncs segments, dict and manifest while holding the
+		// write lock; /readyz reports not-ready for the duration.
+		d.health.begin(blockCheckpoint)
 		d.sds.CheckpointReason(reason) //nolint:errcheck // poisons the handle; next commit reports it
+		d.health.end(blockCheckpoint)
 	}
 }
 
@@ -143,6 +165,12 @@ func (d *Dataset) checkpointStore(reason string) {
 func (d *Dataset) commitBatch(batch []*commitReq) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+
+	// The queue wait ends the moment the drain goroutine owns the batch;
+	// everything after this is batch work, traced under each request.
+	for _, req := range batch {
+		req.queueSpan.End()
+	}
 
 	type staged struct {
 		req  *commitReq
@@ -161,15 +189,25 @@ func (d *Dataset) commitBatch(batch []*commitReq) {
 			continue
 		}
 		g := rdf.NewGraphWithDict(d.dictLocked())
-		if err := rdf.ReadNTriplesInto(g, req.r); err != nil {
+		rctx := req.reqCtx()
+		_, ps := obs.StartSpan(rctx, "commit.parse")
+		err := rdf.ReadNTriplesInto(g, req.r)
+		ps.SetAttr("version", req.id)
+		ps.SetAttr("triples", strconv.Itoa(g.Len()))
+		ps.End()
+		if err != nil {
 			req.done <- commitResult{err: fmt.Errorf("service: parsing version %q: %w", req.id, err)}
 			continue
 		}
 		seen[req.id] = true
 		ok = append(ok, staged{
-			req:  req,
-			v:    &rdf.Version{ID: req.id, Graph: g},
-			info: &CommitInfo{ID: req.id, Triples: g.Len(), Kind: "memory"},
+			req: req,
+			v:   &rdf.Version{ID: req.id, Graph: g},
+			info: &CommitInfo{
+				ID: req.id, Triples: g.Len(), Kind: "memory",
+				RequestID: obs.RequestIDFrom(rctx),
+				TraceID:   obs.TraceIDFrom(rctx),
+			},
 		})
 	}
 	if len(ok) == 0 {
@@ -183,8 +221,17 @@ func (d *Dataset) commitBatch(batch []*commitReq) {
 			vs[i] = s.v
 		}
 		// The whole batch becomes durable through one WAL append + fsync.
-		// When it returns, every version in it is acknowledged at once.
-		entries, err := d.sds.AppendBatch(vs)
+		// The store-side spans attach to ONE trace — the first sampled
+		// request in the batch — because the append is genuinely shared:
+		// one WAL write, one fsync, however many commits coalesced.
+		bctx := context.Background()
+		for _, s := range ok {
+			if rctx := s.req.reqCtx(); obs.SpanFromContext(rctx) != nil {
+				bctx = rctx
+				break
+			}
+		}
+		entries, err := d.sds.AppendBatchCtx(bctx, vs)
 		if err != nil {
 			for _, s := range ok {
 				s.req.done <- commitResult{err: err}
@@ -212,12 +259,13 @@ func (d *Dataset) commitBatch(batch []*commitReq) {
 		// reported in FeedError, never as a commit failure — a client must
 		// not see "bad request" for a version that landed.
 		if prev != "" && d.feed.Len() > 0 {
-			if st, ferr := d.fanOutLocked(prev, s.v.ID); ferr != nil {
+			rctx := s.req.reqCtx()
+			st, ferr := d.fanOutLocked(rctx, prev, s.v.ID)
+			if ferr != nil {
 				s.info.FeedError = ferr.Error()
-				s.info.Feed = st
-			} else {
-				s.info.Feed = st
 			}
+			s.info.Feed = st
+			d.logFanOut(rctx, s.v.ID, st, ferr)
 		}
 		prev = s.v.ID
 		s.req.done <- commitResult{info: s.info}
@@ -234,6 +282,7 @@ func (c *committer) close() {
 		c.cond.Wait()
 	}
 	for _, req := range c.queue {
+		req.queueSpan.End()
 		req.done <- commitResult{err: ErrDatasetClosed}
 	}
 	c.queue = nil

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"evorec/internal/core"
 	"evorec/internal/delta"
 	"evorec/internal/feed"
+	"evorec/internal/obs"
 	"evorec/internal/profile"
 	"evorec/internal/rdf"
 	"evorec/internal/recommend"
@@ -48,11 +51,19 @@ type Dataset struct {
 	// metrics is the dataset's service-level instrument set; nil (no
 	// registry configured) disables all recording.
 	metrics *metrics
+
+	// logger receives fan-out outcome lines attributed to the originating
+	// commit request (nil = silent).
+	logger *slog.Logger
+
+	// health tracks readiness blockers for the owning service's /readyz
+	// (nil for datasets built outside a Service).
+	health *readyState
 }
 
 // newDataset wires a dataset facade. sds is nil for in-memory datasets; vs,
 // when non-nil, seeds the engine with an existing chain.
-func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg Config) (*Dataset, error) {
+func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg Config, health *readyState) (*Dataset, error) {
 	eng := core.New(core.Config{Registry: cfg.Registry, Agent: cfg.Agent, Clock: cfg.Clock})
 	if vs != nil {
 		if err := eng.IngestAll(vs); err != nil {
@@ -72,6 +83,13 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 		feedDir = filepath.Join(cfg.FeedDir, name)
 	}
 	m := newMetrics(cfg.Metrics)
+	// The span source is installed only when a tracer is configured; the
+	// interfaces are assigned a concrete value (obs.ChildSpanner) rather
+	// than a converted nil, so the store/feed nil checks keep working.
+	var feedSpans feed.Spanner
+	if cfg.Tracer != nil {
+		feedSpans = obs.ChildSpanner{}
+	}
 	fd, err := feed.Open(feed.Config{
 		Dir:       feedDir,
 		FS:        cfg.fs(),
@@ -79,6 +97,7 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 		Threshold: cfg.FeedThreshold,
 		K:         cfg.FeedK,
 		Telemetry: m.feedTelemetry(),
+		Spans:     feedSpans,
 	})
 	if err != nil {
 		return nil, err
@@ -87,8 +106,12 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 		// The sink lands before the dataset serves traffic (open-time WAL
 		// replay already happened inside store.OpenFS and is not counted).
 		sds.SetTelemetry(m.storeTelemetry())
+		if cfg.Tracer != nil {
+			sds.SetSpanner(obs.ChildSpanner{})
+		}
 	}
-	d := &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd, metrics: m}
+	d := &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd,
+		metrics: m, logger: cfg.Logger, health: health}
 	d.committer.max = cfg.CommitQueue
 	if d.committer.max <= 0 {
 		d.committer.max = DefaultCommitQueue
@@ -129,15 +152,16 @@ func (d *Dataset) hasVersionLocked(id string) bool {
 // from the backing store on first use. Ingested versions stay resident (the
 // engine's pair caches reference their graphs), so the store LRU bounds
 // reconstruction cost while serving memory grows with the distinct versions
-// actually requested. Callers hold the write lock.
-func (d *Dataset) ensureVersionLocked(id string) error {
+// actually requested. Callers hold the write lock. When ctx carries a
+// sampled trace, a cold page-in surfaces as a "store.materialize" span.
+func (d *Dataset) ensureVersionLocked(ctx context.Context, id string) error {
 	if _, ok := d.eng.Versions().Get(id); ok {
 		return nil
 	}
 	if d.sds == nil || !d.sds.Has(id) {
 		return fmt.Errorf("%w: %q in dataset %q", ErrUnknownVersion, id, d.name)
 	}
-	g, err := d.sds.Graph(id)
+	g, err := d.sds.GraphCtx(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -151,7 +175,12 @@ func pairKey(olderID, newerID string) string { return olderID + "\x00" + newerID
 // the pair was cached at some instant; read paths re-check under their own
 // RLock and retry, so a concurrent invalidation costs a rebuild, never a
 // race.
-func (d *Dataset) ensureItems(olderID, newerID string) error {
+// The pair-cached fast path touches no tracing state at all — a warm
+// recommend keeps its pre-tracing allocation profile whether or not the
+// request is sampled. Only the slow path (a build, or a wait on someone
+// else's build) opens spans: "service.pair_build" on the singleflight
+// leader, "service.pair_wait" on followers.
+func (d *Dataset) ensureItems(ctx context.Context, olderID, newerID string) error {
 	d.mu.RLock()
 	cached := d.eng.HasItems(olderID, newerID)
 	d.mu.RUnlock()
@@ -163,7 +192,12 @@ func (d *Dataset) ensureItems(olderID, newerID string) error {
 	for {
 		fl, leader := d.flights.join(key)
 		if !leader {
-			if err := fl.wait(); err != nil {
+			_, ws := obs.StartSpan(ctx, "service.pair_wait")
+			err := fl.wait()
+			ws.SetAttr("older", olderID)
+			ws.SetAttr("newer", newerID)
+			ws.End()
+			if err != nil {
 				return err
 			}
 			d.mu.RLock()
@@ -174,7 +208,7 @@ func (d *Dataset) ensureItems(olderID, newerID string) error {
 			}
 			continue // invalidated between the leader's build and now
 		}
-		err := d.buildItems(olderID, newerID)
+		err := d.buildItems(ctx, olderID, newerID)
 		d.flights.leave(key, fl, err)
 		return err
 	}
@@ -182,16 +216,20 @@ func (d *Dataset) ensureItems(olderID, newerID string) error {
 
 // buildItems is the singleflight leader's body: materialize both versions
 // and build the pair under the write lock.
-func (d *Dataset) buildItems(olderID, newerID string) error {
+func (d *Dataset) buildItems(ctx context.Context, olderID, newerID string) error {
+	ctx, bs := obs.StartSpan(ctx, "service.pair_build")
+	bs.SetAttr("older", olderID)
+	bs.SetAttr("newer", newerID)
+	defer bs.End()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.eng.HasItems(olderID, newerID) {
 		return nil
 	}
-	if err := d.ensureVersionLocked(olderID); err != nil {
+	if err := d.ensureVersionLocked(ctx, olderID); err != nil {
 		return err
 	}
-	if err := d.ensureVersionLocked(newerID); err != nil {
+	if err := d.ensureVersionLocked(ctx, newerID); err != nil {
 		return err
 	}
 	_, err := d.eng.Items(olderID, newerID)
@@ -203,9 +241,9 @@ func (d *Dataset) buildItems(olderID, newerID string) error {
 
 // withItems runs fn under RLock with the pair guaranteed cached for the
 // duration of the call.
-func (d *Dataset) withItems(olderID, newerID string, fn func() error) error {
+func (d *Dataset) withItems(ctx context.Context, olderID, newerID string, fn func() error) error {
 	for {
-		if err := d.ensureItems(olderID, newerID); err != nil {
+		if err := d.ensureItems(ctx, olderID, newerID); err != nil {
 			return err
 		}
 		d.mu.RLock()
@@ -219,12 +257,20 @@ func (d *Dataset) withItems(olderID, newerID string, fn func() error) error {
 	}
 }
 
-// Recommend produces a recommendation list for one user. The profile is
-// caller-owned: concurrent requests must not share one mutable profile when
-// req.MarkSeen is set (the HTTP layer builds request-scoped profiles).
+// Recommend is RecommendCtx without a tracing context.
 func (d *Dataset) Recommend(u *profile.Profile, req core.Request) ([]recommend.Recommendation, error) {
+	return d.RecommendCtx(context.Background(), u, req)
+}
+
+// RecommendCtx produces a recommendation list for one user. The profile is
+// caller-owned: concurrent requests must not share one mutable profile when
+// req.MarkSeen is set (the HTTP layer builds request-scoped profiles). When
+// ctx carries a sampled trace and the pair is cold, the build surfaces as a
+// "service.pair_build" (or "service.pair_wait") child span; the warm path
+// records nothing.
+func (d *Dataset) RecommendCtx(ctx context.Context, u *profile.Profile, req core.Request) ([]recommend.Recommendation, error) {
 	var sel []recommend.Recommendation
-	err := d.withItems(req.OlderID, req.NewerID, func() error {
+	err := d.withItems(ctx, req.OlderID, req.NewerID, func() error {
 		var err error
 		sel, err = d.eng.Recommend(u, req)
 		return err
@@ -232,11 +278,16 @@ func (d *Dataset) Recommend(u *profile.Profile, req core.Request) ([]recommend.R
 	return sel, err
 }
 
-// RecommendPrivate recommends for pool member idx through the anonymized
-// view of the pool (k-anonymity and/or differential privacy).
+// RecommendPrivate is RecommendPrivateCtx without a tracing context.
 func (d *Dataset) RecommendPrivate(pool []*profile.Profile, idx int, req core.Request, pol core.PrivacyPolicy) ([]recommend.Recommendation, error) {
+	return d.RecommendPrivateCtx(context.Background(), pool, idx, req, pol)
+}
+
+// RecommendPrivateCtx recommends for pool member idx through the anonymized
+// view of the pool (k-anonymity and/or differential privacy).
+func (d *Dataset) RecommendPrivateCtx(ctx context.Context, pool []*profile.Profile, idx int, req core.Request, pol core.PrivacyPolicy) ([]recommend.Recommendation, error) {
 	var sel []recommend.Recommendation
-	err := d.withItems(req.OlderID, req.NewerID, func() error {
+	err := d.withItems(ctx, req.OlderID, req.NewerID, func() error {
 		var err error
 		sel, err = d.eng.RecommendPrivate(pool, idx, req, pol)
 		return err
@@ -244,10 +295,15 @@ func (d *Dataset) RecommendPrivate(pool []*profile.Profile, idx int, req core.Re
 	return sel, err
 }
 
-// RecommendGroup produces a recommendation list for a group.
+// RecommendGroup is RecommendGroupCtx without a tracing context.
 func (d *Dataset) RecommendGroup(g *profile.Group, req core.GroupRequest) ([]recommend.Recommendation, error) {
+	return d.RecommendGroupCtx(context.Background(), g, req)
+}
+
+// RecommendGroupCtx produces a recommendation list for a group.
+func (d *Dataset) RecommendGroupCtx(ctx context.Context, g *profile.Group, req core.GroupRequest) ([]recommend.Recommendation, error) {
 	var sel []recommend.Recommendation
-	err := d.withItems(req.OlderID, req.NewerID, func() error {
+	err := d.withItems(ctx, req.OlderID, req.NewerID, func() error {
 		var err error
 		sel, err = d.eng.RecommendGroup(g, req)
 		return err
@@ -255,11 +311,16 @@ func (d *Dataset) RecommendGroup(g *profile.Group, req core.GroupRequest) ([]rec
 	return sel, err
 }
 
-// Notify scans the pool after a version pair and emits per-user
-// notifications whose relatedness crosses the threshold.
+// Notify is NotifyCtx without a tracing context.
 func (d *Dataset) Notify(pool []*profile.Profile, olderID, newerID string, threshold float64, k int) ([]core.Notification, error) {
+	return d.NotifyCtx(context.Background(), pool, olderID, newerID, threshold, k)
+}
+
+// NotifyCtx scans the pool after a version pair and emits per-user
+// notifications whose relatedness crosses the threshold.
+func (d *Dataset) NotifyCtx(ctx context.Context, pool []*profile.Profile, olderID, newerID string, threshold float64, k int) ([]core.Notification, error) {
 	var out []core.Notification
-	err := d.withItems(olderID, newerID, func() error {
+	err := d.withItems(ctx, olderID, newerID, func() error {
 		var err error
 		out, err = d.eng.Notify(pool, olderID, newerID, threshold, k)
 		return err
@@ -274,11 +335,16 @@ type DeltaStats struct {
 	HighLevel      []string
 }
 
-// Delta returns the pair's low-level delta sizes and rendered high-level
-// changes.
+// Delta is DeltaCtx without a tracing context.
 func (d *Dataset) Delta(olderID, newerID string) (*DeltaStats, error) {
+	return d.DeltaCtx(context.Background(), olderID, newerID)
+}
+
+// DeltaCtx returns the pair's low-level delta sizes and rendered high-level
+// changes.
+func (d *Dataset) DeltaCtx(ctx context.Context, olderID, newerID string) (*DeltaStats, error) {
 	var out *DeltaStats
-	err := d.withItems(olderID, newerID, func() error {
+	err := d.withItems(ctx, olderID, newerID, func() error {
 		ctx, err := d.eng.Context(olderID, newerID)
 		if err != nil {
 			return err
@@ -309,11 +375,16 @@ type MeasureEval struct {
 	Top                []EntityScore
 }
 
-// Measures returns every registered measure evaluated on the pair, with up
-// to k top entities each (k <= 0 omits entities).
+// Measures is MeasuresCtx without a tracing context.
 func (d *Dataset) Measures(olderID, newerID string, k int) ([]MeasureEval, error) {
+	return d.MeasuresCtx(context.Background(), olderID, newerID, k)
+}
+
+// MeasuresCtx returns every registered measure evaluated on the pair, with
+// up to k top entities each (k <= 0 omits entities).
+func (d *Dataset) MeasuresCtx(ctx context.Context, olderID, newerID string, k int) ([]MeasureEval, error) {
 	var out []MeasureEval
-	err := d.withItems(olderID, newerID, func() error {
+	err := d.withItems(ctx, olderID, newerID, func() error {
 		items, err := d.eng.Items(olderID, newerID)
 		if err != nil {
 			return err
@@ -359,6 +430,11 @@ type CommitInfo struct {
 	// and the next Flush retries persistence; the error is surfaced here
 	// for the client instead of being conflated with a commit failure.
 	FeedError string
+	// RequestID and TraceID carry the originating request's identifiers
+	// into the commit result (and from there into fan-out attribution),
+	// empty when the commit arrived without them.
+	RequestID string
+	TraceID   string
 }
 
 // Commit parses an N-Triples body as the dataset's next version, persists
@@ -378,11 +454,24 @@ type CommitInfo struct {
 // (the HTTP layer buffers the network body first) so the batch's write-lock
 // hold never spans a slow upload.
 func (d *Dataset) Commit(id string, r io.Reader) (*CommitInfo, error) {
+	return d.CommitCtx(context.Background(), id, r)
+}
+
+// CommitCtx is Commit with the originating request's context: when ctx
+// carries a sampled trace, the time between enqueue and the drain
+// goroutine picking the commit up is recorded as a "commit.queue_wait"
+// span, and the batch work (parse, store append, WAL fsync, fan-out)
+// nests under the same trace. The request and trace IDs also land in
+// CommitInfo and in the fan-out's log attribution.
+func (d *Dataset) CommitCtx(ctx context.Context, id string, r io.Reader) (*CommitInfo, error) {
 	if id == "" {
 		return nil, fmt.Errorf("service: version ID must not be empty")
 	}
-	req := &commitReq{id: id, r: r, done: make(chan commitResult, 1)}
+	_, qs := obs.StartSpan(ctx, "commit.queue_wait")
+	qs.SetAttr("version", id)
+	req := &commitReq{ctx: ctx, id: id, r: r, queueSpan: qs, done: make(chan commitResult, 1)}
 	if err := d.enqueue(req); err != nil {
+		qs.End()
 		return nil, err
 	}
 	res := <-req.done
@@ -410,20 +499,56 @@ func (d *Dataset) Close() error {
 // engine's pair-cached scoring index (so the fan-out and every request that
 // follows the commit score through the same compiled structures); callers
 // hold the write lock. A non-nil Stats alongside an error means delivery
-// happened in memory but persisting a feed file failed.
-func (d *Dataset) fanOutLocked(olderID, newerID string) (*feed.Stats, error) {
-	if err := d.ensureVersionLocked(olderID); err != nil {
+// happened in memory but persisting a feed file failed. ctx is the
+// originating commit request's: the pair build and the feed's fan-out spans
+// nest under its trace when sampled.
+func (d *Dataset) fanOutLocked(ctx context.Context, olderID, newerID string) (*feed.Stats, error) {
+	bctx, bs := obs.StartSpan(ctx, "service.pair_build")
+	bs.SetAttr("older", olderID)
+	bs.SetAttr("newer", newerID)
+	if err := d.ensureVersionLocked(bctx, olderID); err != nil {
+		bs.End()
 		return nil, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
 	}
 	idx, err := d.eng.ItemIndex(olderID, newerID)
+	bs.End()
 	if err != nil {
 		return nil, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
 	}
-	st, err := d.feed.FanOutIndexed(olderID, newerID, idx)
+	st, err := d.feed.FanOutIndexedCtx(ctx, olderID, newerID, idx)
 	if err != nil {
 		return &st, fmt.Errorf("service: feed fan-out for %s->%s: %w", olderID, newerID, err)
 	}
 	return &st, nil
+}
+
+// logFanOut emits one attribution line per commit-triggered fan-out,
+// carrying the originating request's request/trace IDs so a delivery can be
+// traced back to the commit that caused it. Failures log at Error (they are
+// otherwise only visible in the commit response's FeedError field);
+// successful fan-outs log at Debug.
+func (d *Dataset) logFanOut(ctx context.Context, newerID string, st *feed.Stats, ferr error) {
+	if d.logger == nil || st == nil {
+		return
+	}
+	attrs := []any{
+		"dataset", d.name,
+		"version", newerID,
+		"older", st.OlderID,
+		"affected", st.Affected,
+		"notified", st.Notified,
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		attrs = append(attrs, "request_id", id)
+	}
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		attrs = append(attrs, "trace_id", tid)
+	}
+	if ferr != nil {
+		d.logger.Error("feed fan-out failed", append(attrs, "error", ferr.Error())...)
+		return
+	}
+	d.logger.Debug("feed fan-out", attrs...)
 }
 
 // tailLocked returns the current last version ID ("" for an empty chain).

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"evorec/internal/obs"
+)
+
+// blocker names one class of work that makes the service not-ready: WAL
+// replay while a disk-backed dataset opens, a checkpoint folding the WAL
+// into durable segments, and the shutdown drain. Liveness (/healthz) stays
+// green through all of them — the process is up — but /readyz reports 503
+// so load balancers route around the window instead of queueing behind it.
+type blocker int
+
+const (
+	blockReplay blocker = iota
+	blockCheckpoint
+	blockDrain
+)
+
+// readyState tracks in-flight readiness blockers with lock-free counters
+// and mirrors them into gauges when a registry is bound. The zero value is
+// usable (and always ready) — gauge binding is optional, exactly like every
+// other instrument in the service.
+type readyState struct {
+	replays     atomic.Int64
+	checkpoints atomic.Int64
+	drains      atomic.Int64
+
+	gReplays     *obs.Gauge
+	gCheckpoints *obs.Gauge
+	gDrains      *obs.Gauge
+	gReady       *obs.Gauge
+}
+
+// bind attaches the readiness gauges to reg (nil reg leaves the state
+// counter-only). The service starts ready.
+func (h *readyState) bind(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.gReplays = reg.Gauge("evorec_replays_in_flight",
+		"Store opens currently replaying a write-ahead log (service not-ready while > 0).")
+	h.gCheckpoints = reg.Gauge("evorec_checkpoints_in_flight",
+		"Checkpoints currently folding a WAL into durable segments (service not-ready while > 0).")
+	h.gDrains = reg.Gauge("evorec_drains_in_flight",
+		"Shutdown drains currently in flight (service not-ready while > 0).")
+	h.gReady = reg.Gauge("evorec_ready",
+		"1 when the service would answer /readyz with 200, 0 otherwise.")
+	h.gReady.Set(1)
+}
+
+// counter resolves the counter/gauge pair for one blocker class.
+func (h *readyState) counter(b blocker) (*atomic.Int64, *obs.Gauge) {
+	switch b {
+	case blockReplay:
+		return &h.replays, h.gReplays
+	case blockCheckpoint:
+		return &h.checkpoints, h.gCheckpoints
+	default:
+		return &h.drains, h.gDrains
+	}
+}
+
+// begin marks one blocker as in flight. Nil-receiver safe so datasets built
+// outside a Service (tests) need no readiness plumbing.
+func (h *readyState) begin(b blocker) {
+	if h == nil {
+		return
+	}
+	c, g := h.counter(b)
+	n := c.Add(1)
+	if g != nil {
+		g.Set(float64(n))
+	}
+	h.refreshReady()
+}
+
+// end marks one blocker as finished.
+func (h *readyState) end(b blocker) {
+	if h == nil {
+		return
+	}
+	c, g := h.counter(b)
+	n := c.Add(-1)
+	if g != nil {
+		g.Set(float64(n))
+	}
+	h.refreshReady()
+}
+
+// ready reports whether no blocker is in flight.
+func (h *readyState) ready() bool {
+	return h.replays.Load() == 0 && h.checkpoints.Load() == 0 && h.drains.Load() == 0
+}
+
+// refreshReady re-derives the summary gauge. Counters move independently, so
+// a racing begin/end pair can transiently publish either value — both were
+// true at some instant, which is all a readiness gauge promises.
+func (h *readyState) refreshReady() {
+	if h.gReady == nil {
+		return
+	}
+	v := 0.0
+	if h.ready() {
+		v = 1.0
+	}
+	h.gReady.Set(v)
+}
+
+// Ready reports whether the service should receive traffic, with the
+// per-blocker counts as detail (rendered into the /readyz body). Not-ready
+// means a WAL replay, checkpoint or shutdown drain is in flight.
+func (s *Service) Ready() (bool, map[string]any) {
+	h := &s.ready
+	return h.ready(), map[string]any{
+		"replays_in_flight":     h.replays.Load(),
+		"checkpoints_in_flight": h.checkpoints.Load(),
+		"drains_in_flight":      h.drains.Load(),
+	}
+}

@@ -29,6 +29,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -106,6 +107,16 @@ type Config struct {
 	// §11). Nil disables instrumentation entirely — every hook degrades
 	// to a nil check.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, threads request-scoped spans through the
+	// service into the store and feed layers (see DESIGN.md §12): pair
+	// builds, commit queue waits, WAL appends and fan-outs become child
+	// spans of the request's trace. Nil keeps every path untraced at its
+	// pre-tracing cost.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives commit-triggered fan-out outcome
+	// lines carrying the originating request and trace IDs, so a feed
+	// delivery can be attributed to the commit request that caused it.
+	Logger *slog.Logger
 }
 
 // fs resolves the configured filesystem, defaulting to the real one.
@@ -121,13 +132,19 @@ func (c Config) fs() vfs.FS {
 type Service struct {
 	cfg Config
 
+	// ready tracks readiness blockers (WAL replays, checkpoints, shutdown
+	// drains) for /readyz; datasets hold a pointer into it.
+	ready readyState
+
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 }
 
 // New returns an empty service.
 func New(cfg Config) *Service {
-	return &Service{cfg: cfg, datasets: make(map[string]*Dataset)}
+	s := &Service{cfg: cfg, datasets: make(map[string]*Dataset)}
+	s.ready.bind(cfg.Metrics)
+	return s
 }
 
 // register validates the name and cache capacity and installs the dataset.
@@ -153,7 +170,12 @@ func (s *Service) register(name string, build func() (*Dataset, error)) (*Datase
 // directory.
 func (s *Service) Open(name, dir string) (*Dataset, error) {
 	return s.register(name, func() (*Dataset, error) {
+		// OpenFS replays whatever the WAL holds before the handle is usable;
+		// /readyz reports not-ready for the duration so traffic is not routed
+		// to a process still recovering.
+		s.ready.begin(blockReplay)
 		sds, err := store.OpenFS(s.cfg.fs(), dir)
+		s.ready.end(blockReplay)
 		if err != nil {
 			return nil, err
 		}
@@ -162,21 +184,21 @@ func (s *Service) Open(name, dir string) (*Dataset, error) {
 				return nil, err
 			}
 		}
-		return newDataset(name, dir, sds, nil, s.cfg)
+		return newDataset(name, dir, sds, nil, s.cfg, &s.ready)
 	})
 }
 
 // Create registers an empty in-memory dataset, to be fed through Commit.
 func (s *Service) Create(name string) (*Dataset, error) {
 	return s.register(name, func() (*Dataset, error) {
-		return newDataset(name, "", nil, nil, s.cfg)
+		return newDataset(name, "", nil, nil, s.cfg, &s.ready)
 	})
 }
 
 // Add registers an in-memory dataset over an existing version chain.
 func (s *Service) Add(name string, vs *rdf.VersionStore) (*Dataset, error) {
 	return s.register(name, func() (*Dataset, error) {
-		return newDataset(name, "", nil, vs, s.cfg)
+		return newDataset(name, "", nil, vs, s.cfg, &s.ready)
 	})
 }
 
@@ -238,6 +260,11 @@ func (s *Service) FlushFeeds() error {
 // checkpoint (absorbing their WALs) and close, feeds flush. The service
 // must not be used afterwards; late commits fail with ErrDatasetClosed.
 func (s *Service) Close() error {
+	// The drain is a readiness blocker: /readyz flips to 503 the moment
+	// shutdown starts, before the listener stops accepting, so rolling
+	// deploys stop routing to a process that is busy flushing.
+	s.ready.begin(blockDrain)
+	defer s.ready.end(blockDrain)
 	var firstErr error
 	for _, name := range s.Names() {
 		d, err := s.Get(name)

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"evorec/internal/delta"
 	"evorec/internal/rdf"
@@ -17,7 +19,12 @@ func (ds *Dataset) Append(v *rdf.Version) (*Entry, error) {
 	return entries[0], nil
 }
 
-// AppendBatch persists vs, in order, as the next versions of the stored
+// AppendBatch is AppendBatchCtx without a tracing context.
+func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
+	return ds.AppendBatchCtx(context.Background(), vs)
+}
+
+// AppendBatchCtx persists vs, in order, as the next versions of the stored
 // chain and registers them in the open handle. This is the group-commit
 // primitive: the whole batch becomes durable through ONE write-ahead-log
 // write and ONE fsync, however many versions it carries, so N concurrent
@@ -48,13 +55,19 @@ func (ds *Dataset) Append(v *rdf.Version) (*Entry, error) {
 // batch's durability is then unknown or partial, and the only safe
 // continuation is reopening the directory, which re-applies whatever the
 // WAL acknowledged.
-func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
+//
+// When ctx carries a sampled trace, the whole batch is recorded as a
+// "store.append" span nesting "store.encode" and the WAL's
+// "wal.append"/"wal.fsync" spans.
+func (ds *Dataset) AppendBatchCtx(ctx context.Context, vs []*rdf.Version) ([]*Entry, error) {
 	if ds.failed != nil {
 		return nil, ds.failed
 	}
 	if len(vs) == 0 {
 		return nil, fmt.Errorf("store: empty append batch")
 	}
+	ctx, end := startSpan(ds.spans, ctx, "store.append")
+	defer func() { end("versions", strconv.Itoa(len(vs))) }()
 	pol, err := ParsePolicy(ds.man.Policy)
 	if err != nil {
 		return nil, err
@@ -83,6 +96,7 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 	// Encode the whole batch and build its WAL records. Interning into the
 	// dataset dictionary before the WAL lands is safe: the dict is
 	// append-only, and a crash here just leaves unused tail terms in memory.
+	ectx, encEnd := startSpan(ds.spans, ctx, "store.encode")
 	base := len(ds.man.Entries)
 	parent := ""
 	if base > 0 {
@@ -115,8 +129,9 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 			buf = appendSnapshot(buf, cur)
 		} else {
 			if prevIDs == nil {
-				prev, err := ds.GraphAt(i - 1)
+				prev, err := ds.GraphAtCtx(ectx, i-1)
 				if err != nil {
+					encEnd()
 					return nil, fmt.Errorf("store: materializing tail for append: %w", err)
 				}
 				prevIDs = encodeGraph(ds.dict, prev)
@@ -144,6 +159,7 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 			payload:  buf,
 		})
 		if err != nil {
+			encEnd()
 			return nil, err
 		}
 		e.Bytes = int64(segHeaderLen + len(buf) + segTrailerLen)
@@ -152,9 +168,10 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 		parent = v.ID
 		prevIDs = cur
 	}
+	encEnd("versions", strconv.Itoa(len(vs)))
 
 	// Acknowledgment point: one write, one fsync for the whole batch.
-	if err := ds.wal.append(framed); err != nil {
+	if err := ds.wal.append(ctx, framed); err != nil {
 		ds.fail(err)
 		return nil, err
 	}
@@ -194,7 +211,7 @@ func (ds *Dataset) AppendBatch(vs []*rdf.Version) ([]*Entry, error) {
 		}
 	}
 	if ds.wal.size >= DefaultWALCheckpointBytes {
-		if err := ds.CheckpointReason(CheckpointWALBound); err != nil {
+		if err := ds.CheckpointReasonCtx(ctx, CheckpointWALBound); err != nil {
 			return nil, err
 		}
 	}

@@ -1,7 +1,9 @@
 package store
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"evorec/internal/rdf"
@@ -39,6 +41,9 @@ type Dataset struct {
 	// tel is the optional telemetry sink (nil = uninstrumented); see
 	// SetTelemetry.
 	tel Telemetry
+	// spans is the optional tracing span source (nil = untraced); see
+	// SetSpanner.
+	spans Spanner
 	// pending holds segment paths written since the last checkpoint, still
 	// owed an fsync before the manifest may reference them durably.
 	pending map[string]bool
@@ -217,13 +222,24 @@ func (ds *Dataset) Checkpoint() error { return ds.CheckpointReason(CheckpointExp
 // telemetry sink's duration histogram — service layers distinguish idle
 // background checkpoints from size-bound ones when reading saturation.
 func (ds *Dataset) CheckpointReason(reason string) error {
+	return ds.CheckpointReasonCtx(context.Background(), reason)
+}
+
+// CheckpointReasonCtx is CheckpointReason recording a "store.checkpoint"
+// span (attributed with the reason) when ctx carries a sampled trace —
+// a wal-bound checkpoint triggered inside a commit shows up in that
+// commit's timeline.
+func (ds *Dataset) CheckpointReasonCtx(ctx context.Context, reason string) error {
 	if ds.failed != nil {
 		return ds.failed
 	}
 	if len(ds.pending) == 0 && ds.wal.size == 0 {
 		return nil
 	}
-	if err := ds.checkpointTimed(reason); err != nil {
+	_, end := startSpan(ds.spans, ctx, "store.checkpoint")
+	err := ds.checkpointTimed(reason)
+	end("reason", reason)
+	if err != nil {
 		ds.fail(err)
 		return err
 	}
@@ -347,15 +363,26 @@ func (ds *Dataset) Has(id string) bool {
 
 // Graph materializes the version with the given ID.
 func (ds *Dataset) Graph(id string) (*rdf.Graph, error) {
+	return ds.GraphCtx(context.Background(), id)
+}
+
+// GraphCtx is Graph under a tracing context: an LRU miss records the
+// reconstruction as a "store.materialize" span.
+func (ds *Dataset) GraphCtx(ctx context.Context, id string) (*rdf.Graph, error) {
 	i, ok := ds.idx[id]
 	if !ok {
 		return nil, fmt.Errorf("store: unknown version %q", id)
 	}
-	return ds.GraphAt(i)
+	return ds.GraphAtCtx(ctx, i)
 }
 
 // GraphAt materializes the i-th version in evolution order.
 func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
+	return ds.GraphAtCtx(context.Background(), i)
+}
+
+// GraphAtCtx is GraphAt under a tracing context; see GraphCtx.
+func (ds *Dataset) GraphAtCtx(ctx context.Context, i int) (*rdf.Graph, error) {
 	if i < 0 || i >= len(ds.man.Entries) {
 		return nil, fmt.Errorf("store: version index %d out of range [0, %d)", i, len(ds.man.Entries))
 	}
@@ -368,6 +395,19 @@ func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
 	if ds.tel != nil {
 		ds.tel.ObserveCacheAccess(false)
 	}
+	_, end := startSpan(ds.spans, ctx, "store.materialize")
+	g, replayed, err := ds.materialize(i)
+	if err != nil {
+		end()
+		return nil, err
+	}
+	end("version", ds.man.Entries[i].ID, "deltas_replayed", strconv.Itoa(replayed))
+	return g, nil
+}
+
+// materialize reconstructs version i on an LRU miss, reporting how many
+// delta segments were replayed forward from the reconstruction base.
+func (ds *Dataset) materialize(i int) (*rdf.Graph, int, error) {
 	// Walk back to the nearest reconstruction base: a cached graph or a
 	// snapshot entry (entry 0 is always a snapshot, so this terminates).
 	// Because the walk stops at the first of either, the forward replay
@@ -382,7 +422,7 @@ func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
 		if ds.man.Entries[base].Kind == kindNameSnapshot {
 			var err error
 			if g, err = ds.loadSnapshot(base); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			break
 		}
@@ -390,11 +430,11 @@ func (ds *Dataset) GraphAt(i int) (*rdf.Graph, error) {
 	}
 	for j := base + 1; j <= i; j++ {
 		if err := ds.applyDelta(j, g); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	ds.lru.put(i, g)
-	return g, nil
+	return g, i - base, nil
 }
 
 // loadSnapshot decodes entry i's snapshot segment into a fresh graph

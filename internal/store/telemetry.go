@@ -1,6 +1,9 @@
 package store
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Telemetry is the narrow sink a Dataset reports its I/O events through.
 // The store declares the contract and never imports an implementation —
@@ -36,6 +39,38 @@ type Telemetry interface {
 func (ds *Dataset) SetTelemetry(t Telemetry) {
 	ds.tel = t
 	ds.wal.tel = t
+}
+
+// Spanner opens tracing spans around the store's I/O phases — the append
+// encode, the WAL write and its fsync, checkpoints, LRU-miss
+// materialization. Like Telemetry, the store declares the contract and
+// internal/obs satisfies it structurally (obs.ChildSpanner), so the
+// storage layer never imports the tracing substrate. StartSpan returns a
+// context carrying the child span and a completion callback taking
+// alternating key/value attribute pairs; on a context with no sampled
+// trace, implementations return the input context and a shared no-op
+// callback, so the disabled path costs one branch and zero allocations.
+type Spanner interface {
+	StartSpan(ctx context.Context, name string) (context.Context, func(attrs ...string))
+}
+
+// SetSpanner installs the dataset's span source (nil disables). The same
+// install-before-traffic rule as SetTelemetry applies.
+func (ds *Dataset) SetSpanner(s Spanner) {
+	ds.spans = s
+	ds.wal.spans = s
+}
+
+// nopSpanEnd is the completion callback startSpan hands out when no
+// Spanner is installed.
+var nopSpanEnd = func(...string) {}
+
+// startSpan opens a child span when a Spanner is installed, else a no-op.
+func startSpan(s Spanner, ctx context.Context, name string) (context.Context, func(attrs ...string)) {
+	if s == nil {
+		return ctx, nopSpanEnd
+	}
+	return s.StartSpan(ctx, name)
 }
 
 // Checkpoint trigger reasons reported through Telemetry.

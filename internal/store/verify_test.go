@@ -5,6 +5,7 @@ package store
 // own framing helpers.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestVerifyAndPlanRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(framed); err != nil { // reset truncates the torn tail first
+	if err := w.append(context.Background(), framed); err != nil { // reset truncates the torn tail first
 		t.Fatal(err)
 	}
 	rep, err = VerifyFS(mem, dir)
@@ -148,7 +149,7 @@ func TestVerifyAndPlanRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(framed); err != nil {
+	if err := w.append(context.Background(), framed); err != nil {
 		t.Fatal(err)
 	}
 	rep, err = VerifyFS(mem, dir)

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
+	"strconv"
 	"time"
 
 	"evorec/internal/rdf"
@@ -196,6 +198,8 @@ type wal struct {
 	// tel mirrors the owning Dataset's sink (nil = uninstrumented); append
 	// is where fsync latency — the durability floor — is measured.
 	tel Telemetry
+	// spans mirrors the owning Dataset's span source (nil = untraced).
+	spans Spanner
 }
 
 func (w *wal) path() string { return joinPath(w.dir, walFileName) }
@@ -252,17 +256,25 @@ func (w *wal) ensureOpen() error {
 // append writes framed record bytes and fsyncs them — the commit
 // acknowledgment point. One call may carry many records (group commit):
 // however many commits are in the batch, durability costs one write and
-// one fsync.
-func (w *wal) append(framed []byte) error {
+// one fsync. When ctx carries a sampled trace, the whole append and the
+// fsync alone are recorded as nested "wal.append" / "wal.fsync" spans.
+func (w *wal) append(ctx context.Context, framed []byte) error {
+	actx, aend := startSpan(w.spans, ctx, "wal.append")
 	start := time.Now()
 	if err := w.ensureOpen(); err != nil {
+		aend()
 		return err
 	}
 	if _, err := w.f.Write(framed); err != nil {
+		aend()
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
+	_, fend := startSpan(w.spans, actx, "wal.fsync")
 	syncStart := time.Now()
-	if err := w.f.Sync(); err != nil {
+	err := w.f.Sync()
+	fend()
+	if err != nil {
+		aend()
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
 	w.size += int64(len(framed))
@@ -271,6 +283,7 @@ func (w *wal) append(framed []byte) error {
 		w.tel.ObserveWALAppend(len(framed), time.Since(start))
 		w.tel.SetWALSize(w.size)
 	}
+	aend("bytes", strconv.Itoa(len(framed)))
 	return nil
 }
 
