@@ -13,6 +13,7 @@
 //	summarize  relevance-based schema summary of one version
 //	serve      run the HTTP evolution service over stored datasets
 //	bench      run the scoring-kernel benchmarks (-json for CI artifacts)
+//	sim        deterministic workload soak against a live service
 //
 // Run "evorec <subcommand> -h" for flags.
 package main
@@ -55,6 +56,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -82,7 +85,8 @@ subcommands:
   report     personalized evolution digest for a user
   summarize  relevance-based schema summary of one version
   serve      run the HTTP evolution service over stored datasets
-  bench      run the scoring-kernel benchmarks (-json for CI artifacts)`)
+  bench      run the scoring-kernel benchmarks (-json for CI artifacts)
+  sim        deterministic workload soak against a live service`)
 }
 
 func cmdGenerate(args []string) error {

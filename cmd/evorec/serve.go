@@ -75,6 +75,8 @@ func cmdServe(args []string) error {
 		"completed traces retained for GET /debug/traces (minimum 1)")
 	traceSlow := fs.Duration("trace-slow", time.Second,
 		"log any sampled trace slower than this as a structured warning (0 disables)")
+	latencyBuckets := fs.String("latency-buckets", "",
+		"comma-separated HTTP latency histogram bucket bounds in seconds, strictly increasing (empty = default schedule)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	var datasets, mems repeatedFlag
 	fs.Var(&datasets, "dataset", "name=dir of a binary store to serve (repeatable)")
@@ -104,6 +106,13 @@ func cmdServe(args []string) error {
 	case "debug", "info", "warn", "error":
 	default:
 		return fmt.Errorf("-log-level must be debug, info, warn or error, got %q", *logLevel)
+	}
+	var buckets []float64
+	if *latencyBuckets != "" {
+		var err error
+		if buckets, err = evorec.ParseLatencyBuckets(*latencyBuckets); err != nil {
+			return fmt.Errorf("-latency-buckets: %w", err)
+		}
 	}
 	if len(datasets) == 0 && len(mems) == 0 {
 		return fmt.Errorf("usage: evorec serve [-addr a] [-ops-addr a] [-cache-cap n] [-feed-dir d] -dataset name=dir [-mem name]")
@@ -161,6 +170,7 @@ func cmdServe(args []string) error {
 			Metrics:           reg,
 			Logger:            logger,
 			Tracer:            tracer,
+			LatencyBuckets:    buckets,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"evorec"
+)
+
+// cmdSim runs the deterministic workload simulator: a seeded weighted mix
+// of API operations against a live service (in-process by default, or a
+// remote server via -addr), with a shadow model checking cross-subsystem
+// invariants and the server's own telemetry held to conservation laws. The
+// operation schedule is a pure function of the generation flags — -duration
+// is translated to an operation budget (rate × duration), never a
+// wall-clock cutoff, so two runs with one seed produce byte-identical
+// operation logs.
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "generation seed; equal seeds replay identical workloads")
+	duration := fs.Duration("duration", 10*time.Second,
+		"target run length; with -rate fixes the op budget (ignored when -ops is set)")
+	rate := fs.Float64("rate", 200, "dispatch pace in operations/second (<= 0 = unpaced)")
+	ops := fs.Int("ops", 0, "explicit operation budget (overrides -duration x -rate)")
+	concurrency := fs.Int("concurrency", 8, "worker count (minimum 1)")
+	mem := fs.Int("mem", 2, "in-memory datasets the mix may create over the API")
+	users := fs.Int("users", 16, "subscriber pool size per dataset")
+	parityEvery := fs.Int("parity-every", 4,
+		"check every Nth plain recommend against the reference scorer (0 disables)")
+	evolveOps := fs.Int("evolve-ops", 40, "synthetic change operations per committed version")
+	addr := fs.String("addr", "",
+		"remote API base URL; empty boots an in-process server (backed dataset, strict oracle)")
+	opsURL := fs.String("ops-url", "",
+		"operator base URL for /metrics scraping with -addr (in-process runs wire it automatically)")
+	oplog := fs.String("oplog", "", "write the deterministic operation log to this file")
+	out := fs.String("out", "", "write the benchmark report JSON to this file")
+	quiet := fs.Bool("quiet", false, "suppress the progress summary on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1, got %d", *concurrency)
+	}
+	if *ops < 0 {
+		return fmt.Errorf("-ops must be >= 0, got %d", *ops)
+	}
+	numOps := *ops
+	if numOps == 0 {
+		if *rate <= 0 {
+			return fmt.Errorf("-ops is required when -rate <= 0 (a duration alone cannot fix a deterministic budget)")
+		}
+		numOps = int(*rate * duration.Seconds())
+		if numOps < 1 {
+			numOps = 1
+		}
+	}
+
+	cfg := evorec.SimConfig{
+		Seed:        *seed,
+		NumOps:      numOps,
+		Rate:        *rate,
+		Concurrency: *concurrency,
+		MemDatasets: *mem,
+		Users:       *users,
+		ParityEvery: *parityEvery,
+		EvolveOps:   *evolveOps,
+	}
+	if *addr == "" {
+		cfg.BackedDatasets = 1
+		cfg.Strict = true
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sim: "+format+"\n", args...)
+		}
+	}
+
+	plan, err := evorec.BuildSimPlan(cfg)
+	if err != nil {
+		return err
+	}
+	if *oplog != "" {
+		f, err := os.Create(*oplog)
+		if err != nil {
+			return err
+		}
+		if err := plan.WriteOpLog(f); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *addr == "" {
+		srv, err := evorec.StartSimInProcess(plan, evorec.SimServerOptions{LogW: os.Stderr})
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //nolint:errcheck // teardown of a temp stack
+		cfg.BaseURL, cfg.OpsURL = srv.BaseURL, srv.OpsURL
+	} else {
+		cfg.BaseURL, cfg.OpsURL = *addr, *opsURL
+	}
+
+	res, err := evorec.RunSim(cfg, plan)
+	if err != nil {
+		return err
+	}
+	rep := res.Report()
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("sim seed=%d ops=%d elapsed=%.2fs throughput=%.0f ops/s\n",
+		res.Seed, res.Ops, res.Elapsed.Seconds(), float64(res.Ops)/res.Elapsed.Seconds())
+	fmt.Printf("  checks=%d violations=%d parity=%d scrapes=%d traces=%d\n",
+		res.Checks, res.Violations, res.Parity, res.Scrapes, res.TracesSeen)
+	fmt.Printf("  commits: acked=%d busy=%d fanouts=%d notifications=%d\n",
+		res.Commits2xx, res.Commits503, res.Fanouts, res.Notified)
+	kinds := make([]string, 0, len(res.PerOp))
+	for k := range res.PerOp {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		st := res.PerOp[k]
+		fmt.Printf("  %-16s n=%-5d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			k, st.Count, st.P50Millis, st.P95Millis, st.P99Millis)
+	}
+	if res.Violations > 0 {
+		for _, s := range res.Samples {
+			fmt.Fprintln(os.Stderr, "sim: violation:", s)
+		}
+		return fmt.Errorf("%d invariant violations (%d checks)", res.Violations, res.Checks)
+	}
+	return nil
+}

@@ -50,6 +50,7 @@ import (
 	"evorec/internal/semantics"
 	"evorec/internal/server"
 	"evorec/internal/service"
+	"evorec/internal/sim"
 	"evorec/internal/store"
 	"evorec/internal/summary"
 	"evorec/internal/synth"
@@ -889,3 +890,47 @@ func NewFeedTelemetry(reg *MetricsRegistry) FeedTelemetry {
 	}
 	return obs.NewFeedSink(reg)
 }
+
+// ParseLatencyBuckets parses a comma-separated histogram bucket schedule in
+// seconds for HTTPServerConfig.LatencyBuckets: at least one bound, every
+// bound positive and finite, strictly increasing (`serve -latency-buckets`).
+func ParseLatencyBuckets(spec string) ([]float64, error) { return obs.ParseBuckets(spec) }
+
+// ---------------------------------------------------------------------------
+// Workload simulation
+
+// SimConfig parameterizes the deterministic workload simulator: seed,
+// operation budget, pacing, concurrency, dataset/user population, and the
+// endpoints to drive (see DESIGN.md §13).
+type SimConfig = sim.Config
+
+// SimPlan is a fully pre-generated operation schedule. Two plans built from
+// equal configs are byte-identical (WriteOpLog proves it), which is what
+// makes a soak run reproducible: execution timing varies, the workload
+// never does.
+type SimPlan = sim.Plan
+
+// SimResult carries the outcome of a soak run: throughput, client/server
+// latency, invariant and telemetry-conservation verdicts, and the final
+// metrics snapshot for BENCH artifacts.
+type SimResult = sim.Result
+
+// SimInProcess is a self-contained evorec service stack (store, service,
+// API listener, ops listener) on loopback ephemeral ports, for `evorec sim`
+// runs without an external server.
+type SimInProcess = sim.InProcess
+
+// SimServerOptions parameterizes StartSimInProcess.
+type SimServerOptions = sim.InProcOptions
+
+// BuildSimPlan pre-generates the deterministic operation schedule for cfg.
+func BuildSimPlan(cfg SimConfig) (*SimPlan, error) { return sim.BuildPlan(cfg) }
+
+// StartSimInProcess boots the in-process service stack seeded with the
+// plan's backed datasets. Callers must Close it.
+func StartSimInProcess(plan *SimPlan, opt SimServerOptions) (*SimInProcess, error) {
+	return sim.StartInProcess(plan, opt)
+}
+
+// RunSim executes the plan against cfg's endpoints and returns the verdict.
+func RunSim(cfg SimConfig, plan *SimPlan) (*SimResult, error) { return sim.Run(cfg, plan) }

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -33,13 +35,26 @@ type HTTPMetrics struct {
 }
 
 // NewHTTPMetrics builds (or rebinds, registration is get-or-create) the
-// HTTP instrument set on reg. Every argument may be nil: a nil registry
-// disables metrics, a nil logger disables access logs, a nil tracer
-// disables traceparent handling, and with all three nil Wrap returns
-// handlers unchanged.
+// HTTP instrument set on reg with the default latency bucket schedule.
+// Every argument may be nil: a nil registry disables metrics, a nil logger
+// disables access logs, a nil tracer disables traceparent handling, and
+// with all three nil Wrap returns handlers unchanged.
 func NewHTTPMetrics(reg *Registry, logger *slog.Logger, tracer *Tracer) *HTTPMetrics {
+	return NewHTTPMetricsBuckets(reg, logger, tracer, nil)
+}
+
+// NewHTTPMetricsBuckets is NewHTTPMetrics with a custom latency bucket
+// schedule for evorec_http_request_seconds (nil keeps DefBuckets), for
+// deployments whose latency envelope the default schedule resolves poorly.
+// Buckets must be positive and strictly increasing — ParseBuckets validates
+// exactly this. The registry's get-or-create contract still applies: the
+// first registration of the histogram fixes its buckets for the process.
+func NewHTTPMetricsBuckets(reg *Registry, logger *slog.Logger, tracer *Tracer, buckets []float64) *HTTPMetrics {
 	if reg == nil && logger == nil && tracer == nil {
 		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
 	}
 	return &HTTPMetrics{
 		tracer: tracer,
@@ -48,7 +63,7 @@ func NewHTTPMetrics(reg *Registry, logger *slog.Logger, tracer *Tracer) *HTTPMet
 			"route", "method", "class"),
 		latency: reg.HistogramVec("evorec_http_request_seconds",
 			"HTTP request latency in seconds, by route pattern.",
-			DefBuckets, "route"),
+			buckets, "route"),
 		inFlight: reg.Gauge("evorec_http_in_flight",
 			"HTTP requests currently being served."),
 		bytes: reg.CounterVec("evorec_http_response_bytes_total",
@@ -56,6 +71,33 @@ func NewHTTPMetrics(reg *Registry, logger *slog.Logger, tracer *Tracer) *HTTPMet
 			"route"),
 		logger: logger,
 	}
+}
+
+// ParseBuckets parses a comma-separated histogram bucket schedule in
+// seconds ("0.005,0.025,0.1,0.5,2"). It validates what a usable exposition
+// requires: at least one bound, every bound a positive finite number, and
+// strict ascent. The +Inf bucket is implicit and must not be listed.
+func ParseBuckets(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("obs: empty bucket bound in %q", spec)
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bucket bound %q is not a number", p)
+		}
+		if math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+			return nil, fmt.Errorf("obs: bucket bound %q must be positive and finite (+Inf is implicit)", p)
+		}
+		if len(out) > 0 && v <= out[len(out)-1] {
+			return nil, fmt.Errorf("obs: bucket bounds must be strictly increasing, got %g after %g", v, out[len(out)-1])
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // RouteLabel derives the metrics label from a mux pattern: the method

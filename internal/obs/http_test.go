@@ -152,9 +152,84 @@ func TestRouteLabel(t *testing.T) {
 		"GET /v1/datasets/{name}": "/v1/datasets/{name}",
 		"PUT /v1/x":               "/v1/x",
 		"/bare":                   "/bare",
+		// Parameterized multi-segment patterns keep every wildcard.
+		"POST /v1/datasets/{name}/versions/{id}": "/v1/datasets/{name}/versions/{id}",
+		"GET /v1/datasets/{name}/feed/{id}":      "/v1/datasets/{name}/feed/{id}",
+		// Unknown/degenerate patterns pass through unchanged: no method
+		// prefix to strip, or a first token that is itself a path.
+		"":                     "",
+		"GET":                  "GET",
+		"/a/b c/d":             "/a/b c/d",
+		"OPTIONS {$}":          "{$}",
+		"GET example.com/path": "example.com/path",
 	} {
 		if got := RouteLabel(pattern); got != want {
 			t.Errorf("RouteLabel(%q) = %q, want %q", pattern, got, want)
 		}
+	}
+}
+
+// TestParseBuckets pins the -latency-buckets grammar: comma-separated
+// positive finite seconds in strict ascent, +Inf implicit.
+func TestParseBuckets(t *testing.T) {
+	got, err := ParseBuckets("0.005, 0.05,0.5,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.005, 0.05, 0.5, 2}
+	if len(got) != len(want) {
+		t.Fatalf("ParseBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseBuckets = %v, want %v", got, want)
+		}
+	}
+	if b, err := ParseBuckets("0.25"); err != nil || len(b) != 1 || b[0] != 0.25 {
+		t.Errorf("single bound: %v, %v", b, err)
+	}
+	for _, bad := range []string{
+		"",         // no bounds at all
+		"0.1,,0.5", // empty element
+		"0.1,abc",  // not a number
+		"0.1,+Inf", // +Inf is implicit, never listed
+		"NaN",      // not a usable bound
+		"0,0.1",    // bounds must be positive
+		"-0.1,0.5", // negative
+		"0.1,0.1",  // must strictly ascend
+		"0.5,0.1",  // descending
+	} {
+		if _, err := ParseBuckets(bad); err == nil {
+			t.Errorf("ParseBuckets(%q) accepted an invalid schedule", bad)
+		}
+	}
+}
+
+// TestCustomLatencyBuckets threads a custom schedule end to end: the
+// request-latency histogram exposes exactly the configured le bounds (plus
+// +Inf), not the default schedule.
+func TestCustomLatencyBuckets(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetricsBuckets(reg, nil, nil, []float64{0.001, 1})
+	h := m.Wrap("/v1/custom", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/custom", nil))
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`evorec_http_request_seconds_bucket{le="0.001",route="/v1/custom"}`,
+		`evorec_http_request_seconds_bucket{le="1",route="/v1/custom"}`,
+		`evorec_http_request_seconds_bucket{le="+Inf",route="/v1/custom"} 1`,
+		`evorec_http_request_seconds_count{route="/v1/custom"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(body, `le="0.005"`) {
+		t.Error("default bucket schedule leaked into a custom-bucket histogram")
 	}
 }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotRace hammers Snapshot while other goroutines concurrently
+// register new instruments and observe existing ones. Run under -race this
+// pins Snapshot's locking discipline: registration mutates the family list
+// and vec maps at the same time the snapshot walks them, and every value
+// read races a writer. The final snapshot (after all writers join) must also
+// balance the books exactly.
+func TestSnapshotRace(t *testing.T) {
+	reg := NewRegistry()
+	base := reg.Counter("race_base_total", "Pre-registered counter.")
+	vec := reg.CounterVec("race_req_total", "Pre-registered vec.", "route")
+	hist := reg.Histogram("race_lat_seconds", "Pre-registered histogram.", []float64{1, 2})
+
+	const (
+		writers = 4
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				base.Inc()
+				vec.With(fmt.Sprintf("/r%d", i%8)).Inc()
+				hist.Observe(float64(i % 3))
+				// Fresh names force family-list mutation mid-walk.
+				reg.Counter(fmt.Sprintf("race_dyn_%d_%d_total", w, i), "Dynamic.").Inc()
+				reg.Gauge(fmt.Sprintf("race_gauge_%d_%d", w, i), "Dynamic.").Set(float64(i))
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 100; i++ {
+			snap := reg.Snapshot()
+			// Whatever instant the walk caught, histogram books must balance.
+			if c, ok := snap["race_lat_seconds_count"]; ok {
+				if inf := snap[`race_lat_seconds_bucket{le="+Inf"}`]; inf != c {
+					t.Errorf("snapshot %d: +Inf bucket %g != count %g", i, inf, c)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	snap := reg.Snapshot()
+	if got := snap["race_base_total"]; got != writers*rounds {
+		t.Errorf("race_base_total = %g, want %d", got, writers*rounds)
+	}
+	var vecSum float64
+	dyn := 0
+	for key, v := range snap {
+		if strings.HasPrefix(key, "race_req_total{") {
+			vecSum += v
+		}
+		if strings.HasPrefix(key, "race_dyn_") {
+			dyn++
+			if v != 1 {
+				t.Errorf("%s = %g, want 1", key, v)
+			}
+		}
+	}
+	if vecSum != writers*rounds {
+		t.Errorf("race_req_total sums to %g, want %d", vecSum, writers*rounds)
+	}
+	if dyn != writers*rounds {
+		t.Errorf("%d dynamic counters registered, want %d", dyn, writers*rounds)
+	}
+	if got := snap["race_lat_seconds_count"]; got != writers*rounds {
+		t.Errorf("race_lat_seconds_count = %g, want %d", got, writers*rounds)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"log/slog"
 	"math/rand/v2"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,9 +195,14 @@ type SpanRecord struct {
 // Trace is one completed request timeline, published to the ring when its
 // root span ends.
 type Trace struct {
-	TraceID    string       `json:"trace_id"`
-	RequestID  string       `json:"request_id,omitempty"`
-	Route      string       `json:"route,omitempty"`
+	TraceID   string `json:"trace_id"`
+	RequestID string `json:"request_id,omitempty"`
+	Route     string `json:"route,omitempty"`
+	// Seq is the ring's monotonic publication sequence (1-based), assigned
+	// when the trace lands in the ring. A scraper that remembers the
+	// max_seq of its last poll and passes it back as since_seq reads every
+	// trace exactly once (up to ring overwrite).
+	Seq        uint64       `json:"seq"`
 	Start      time.Time    `json:"start"`
 	DurationNS int64        `json:"duration_ns"`
 	Spans      []SpanRecord `json:"spans"`
@@ -476,8 +483,55 @@ func (t *Tracer) publish(tr *Trace) {
 			"route", tr.Route,
 			"duration", time.Duration(tr.DurationNS),
 			"spans", len(tr.Spans),
+			"top_self_time", strings.Join(topSelfTime(tr.Spans, 3), ", "),
 		)
 	}
+}
+
+// topSelfTime ranks spans by self time — own duration minus the summed
+// duration of direct children — and renders the top n as "name=duration".
+// Self time is what makes a slow trace diagnosable from the log line alone:
+// a root span always dominates total time, but the span that burned the
+// wall clock itself is the one to look at.
+func topSelfTime(spans []SpanRecord, n int) []string {
+	childSum := make(map[string]int64, len(spans))
+	for _, s := range spans {
+		if s.ParentID != "" {
+			childSum[s.ParentID] += s.DurationNS
+		}
+	}
+	type selfSpan struct {
+		name string
+		self int64
+	}
+	ranked := make([]selfSpan, 0, len(spans))
+	for _, s := range spans {
+		self := s.DurationNS - childSum[s.SpanID]
+		if self < 0 {
+			self = 0 // clock skew between parent and child reads
+		}
+		ranked = append(ranked, selfSpan{s.Name, self})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].self > ranked[j].self })
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	out := make([]string, len(ranked))
+	for i, e := range ranked {
+		out[i] = e.name + "=" + time.Duration(e.self).String()
+	}
+	return out
+}
+
+// LastSeq returns the highest ring sequence assigned so far (0 before any
+// trace published; nil-safe). TracesHandler reports it as max_seq so a
+// scraper can advance its since_seq cursor even when filters hide the
+// newest traces.
+func (t *Tracer) LastSeq() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.pos.Load()
 }
 
 // Traces snapshots the ring, newest first.
@@ -499,8 +553,9 @@ type traceRing struct {
 }
 
 func (r *traceRing) put(t *Trace) {
-	i := r.pos.Add(1) - 1
-	r.slots[i%uint64(len(r.slots))].Store(t)
+	seq := r.pos.Add(1)
+	t.Seq = seq // publish owns the trace; stamped before it becomes visible
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(t)
 }
 
 func (r *traceRing) snapshot() []*Trace {
@@ -518,7 +573,11 @@ func (r *traceRing) snapshot() []*Trace {
 // TracesHandler serves GET /debug/traces: the ring's completed traces as
 // JSON, newest first. Query parameters filter the view: route= keeps one
 // route pattern, min_ms= keeps traces at least that long, limit= caps the
-// count.
+// count, and since_seq= keeps only traces published after that ring
+// sequence. The response carries max_seq — the highest sequence assigned so
+// far — so a repeated scraper can loop `since_seq = max_seq` and read every
+// trace exactly once, regardless of filters (up to ring overwrite under
+// sustained overload).
 func (t *Tracer) TracesHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		traces := t.Traces()
@@ -532,6 +591,15 @@ func (t *Tracer) TracesHandler() http.Handler {
 				return
 			}
 			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		var sinceSeq uint64
+		if v := q.Get("since_seq"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "since_seq must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			sinceSeq = n
 		}
 		limit := len(traces)
 		if v := q.Get("limit"); v != "" {
@@ -547,6 +615,9 @@ func (t *Tracer) TracesHandler() http.Handler {
 			if len(out) >= limit {
 				break
 			}
+			if tr.Seq <= sinceSeq {
+				continue
+			}
 			if route != "" && tr.Route != route {
 				continue
 			}
@@ -558,6 +629,10 @@ func (t *Tracer) TracesHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{"count": len(out), "traces": out}) //nolint:errcheck // response committed
+		enc.Encode(map[string]any{ //nolint:errcheck // response committed
+			"count":   len(out),
+			"max_seq": t.LastSeq(),
+			"traces":  out,
+		})
 	})
 }

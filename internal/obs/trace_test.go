@@ -206,6 +206,14 @@ func TestSlowTraceLog(t *testing.T) {
 	if !strings.Contains(out, "trace_id="+root.TraceID().String()) {
 		t.Fatalf("slow trace warning must carry the trace ID: %q", out)
 	}
+	// The warning names where the time went: top spans by self-time, so the
+	// log line alone localizes the slowness after the ring has wrapped.
+	if !strings.Contains(out, "top_self_time=") || !strings.Contains(out, "slow-job=") {
+		t.Fatalf("slow trace warning must carry top_self_time with the root span: %q", out)
+	}
+	if !strings.Contains(out, "child=") {
+		t.Fatalf("top_self_time must include the child span: %q", out)
+	}
 
 	// Under threshold: silent.
 	buf.Reset()
@@ -327,4 +335,84 @@ func TestTracesHandler(t *testing.T) {
 	if rec, _ := get("/debug/traces?limit=-1"); rec.Code != 400 {
 		t.Errorf("bad limit status = %d, want 400", rec.Code)
 	}
+}
+
+// TestTracesHandlerSinceSeq locks the incremental-consumption contract of
+// GET /debug/traces: every published trace carries a monotonically
+// increasing ring sequence, the response advertises max_seq, and
+// ?since_seq=N returns exactly the traces published after N — so a poller
+// can tail the ring without re-reading (or missing) completed traces.
+func TestTracesHandlerSinceSeq(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 16})
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartRoot(context.Background(), "/seq")
+		root.End()
+	}
+
+	get := func(url string) (int, tracesPage) {
+		rec := httptest.NewRecorder()
+		tr.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var page tracesPage
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+				t.Fatalf("GET %s: bad JSON: %v", url, err)
+			}
+		}
+		return rec.Code, page
+	}
+
+	_, page := get("/debug/traces")
+	if page.Count != 5 || len(page.Traces) != 5 {
+		t.Fatalf("unfiltered: count=%d traces=%d, want 5", page.Count, len(page.Traces))
+	}
+	if page.MaxSeq != 5 {
+		t.Errorf("max_seq = %d, want 5", page.MaxSeq)
+	}
+	seen := make(map[uint64]bool)
+	for _, tr := range page.Traces {
+		if tr.Seq < 1 || tr.Seq > page.MaxSeq || seen[tr.Seq] {
+			t.Errorf("seq %d out of (0, %d] or duplicated", tr.Seq, page.MaxSeq)
+		}
+		seen[tr.Seq] = true
+	}
+
+	if _, page = get("/debug/traces?since_seq=3"); page.Count != 2 {
+		t.Errorf("since_seq=3 count = %d, want 2", page.Count)
+	}
+	for _, tr := range page.Traces {
+		if tr.Seq <= 3 {
+			t.Errorf("since_seq=3 returned seq %d", tr.Seq)
+		}
+	}
+	if _, page = get("/debug/traces?since_seq=5"); page.Count != 0 || page.MaxSeq != 5 {
+		t.Errorf("fully-caught-up cursor: count=%d max_seq=%d, want 0 and 5", page.Count, page.MaxSeq)
+	}
+
+	// New publishes advance max_seq past a held cursor.
+	_, root := tr.StartRoot(context.Background(), "/seq")
+	root.End()
+	if _, page = get("/debug/traces?since_seq=5"); page.Count != 1 || page.MaxSeq != 6 {
+		t.Errorf("after publish: count=%d max_seq=%d, want 1 and 6", page.Count, page.MaxSeq)
+	}
+
+	if code, _ := get("/debug/traces?since_seq=x"); code != 400 {
+		t.Errorf("bad since_seq status = %d, want 400", code)
+	}
+	if code, _ := get("/debug/traces?since_seq=-1"); code != 400 {
+		t.Errorf("negative since_seq status = %d, want 400", code)
+	}
+
+	// Filters compose: route + since_seq.
+	if _, page = get("/debug/traces?route=/seq&since_seq=4"); page.Count != 2 {
+		t.Errorf("route+since_seq count = %d, want 2", page.Count)
+	}
+}
+
+// tracesPage mirrors the /debug/traces response envelope.
+type tracesPage struct {
+	Count  int    `json:"count"`
+	MaxSeq uint64 `json:"max_seq"`
+	Traces []struct {
+		Seq uint64 `json:"seq"`
+	} `json:"traces"`
 }

@@ -69,6 +69,11 @@ type Config struct {
 	// span per sampled request, and threads the trace context through every
 	// handler into the service/store/feed layers. Nil disables tracing.
 	Tracer *obs.Tracer
+	// LatencyBuckets overrides the evorec_http_request_seconds bucket
+	// schedule (upper bounds in seconds, positive and strictly increasing —
+	// obs.ParseBuckets validates the CLI spelling). Nil keeps
+	// obs.DefBuckets, so existing expositions are unchanged.
+	LatencyBuckets []float64
 }
 
 // Server is the HTTP front-end over a Service. It implements http.Handler
@@ -93,7 +98,7 @@ func NewWithConfig(svc *service.Service, cfg Config) *Server {
 	s := &Server{
 		svc:        svc,
 		mux:        http.NewServeMux(),
-		httpm:      obs.NewHTTPMetrics(cfg.Metrics, cfg.Logger, cfg.Tracer),
+		httpm:      obs.NewHTTPMetricsBuckets(cfg.Metrics, cfg.Logger, cfg.Tracer, cfg.LatencyBuckets),
 		retryAfter: strconv.Itoa(retry),
 	}
 	if cfg.Metrics != nil {

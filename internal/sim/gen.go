@@ -1,0 +1,596 @@
+// Package sim is the deterministic workload simulator and soak harness
+// behind `evorec sim` (see DESIGN.md §13). It pre-generates a seeded,
+// weighted mix of API operations (create / commit / subscribe / update /
+// unsubscribe / recommend / group-recommend / notify / poll-with-ack) as a
+// fully materialized Plan — two plans from equal configs are byte-identical
+// — then executes the plan against a live service at configurable
+// concurrency, maintaining a shadow model of expected state and treating
+// the server's own telemetry (/metrics, /readyz, /debug/traces) as an
+// oracle whose conservation laws must hold at the end of the run.
+//
+// The weighted-operation scheme adapts the SimulationManager idiom from
+// blockchain simulation harnesses: every operation kind carries a weight,
+// eligibility is gated on generated state (no unsubscribe before a
+// subscribe, no recommend before two versions exist), and all randomness is
+// drawn single-threaded from one seeded source, so the operation stream —
+// including every commit body — is a pure function of the seed.
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"evorec/internal/rdf"
+	"evorec/internal/synth"
+)
+
+// Config parameterizes plan generation and execution. The zero value is
+// not runnable; cmd/evorec fills it from flags and tests from literals.
+// Only the generation fields (Seed, NumOps, BackedDatasets, MemDatasets,
+// Users, ParityEvery, EvolveOps, KB) shape the plan; the rest only affect
+// execution, so the same plan can be replayed against different endpoints.
+type Config struct {
+	// Seed drives every random choice of the generator.
+	Seed int64
+	// NumOps is the total operation budget (default 2000).
+	NumOps int
+	// Rate paces dispatch in operations/second; <= 0 dispatches as fast as
+	// the workers drain.
+	Rate float64
+	// Concurrency is the worker count (default 8). Operations that must
+	// not reorder (commits per dataset, subscriber ops per user) are
+	// routed to a worker by affinity key; reads round-robin.
+	Concurrency int
+	// BackedDatasets is how many disk-backed datasets the plan seeds
+	// (their v0 base graphs are part of the plan; StartInProcess persists
+	// them). Remote runs must use 0 — the simulator cannot mount a store
+	// directory into a foreign server.
+	BackedDatasets int
+	// MemDatasets bounds how many in-memory datasets the mix may create
+	// over the API (default 2 when BackedDatasets is 0, else 2).
+	MemDatasets int
+	// Users is the subscriber pool size per dataset (default 16).
+	Users int
+	// ParityEvery samples every Nth plain recommend for indexed-vs-
+	// reference scoring parity (0 disables the shadow engine entirely).
+	ParityEvery int
+	// EvolveOps is the synthetic change-operation count per committed
+	// version (default 40).
+	EvolveOps int
+	// KB shapes the synthetic knowledge bases (zero value: synth.Small()).
+	KB synth.KBConfig
+
+	// BaseURL is the API endpoint ("http://127.0.0.1:8080").
+	BaseURL string
+	// OpsURL is the operator endpoint for /metrics, /readyz and
+	// /debug/traces; empty disables telemetry scraping and every
+	// metrics-as-oracle law.
+	OpsURL string
+	// Strict enables the exclusive-use conservation laws (request counts,
+	// fan-out counts, WAL inequalities). Only valid when the simulator is
+	// the server's sole client — in-process runs set it.
+	Strict bool
+	// ScrapeInterval paces the /metrics+/readyz+/debug/traces scraper
+	// during the run (default 1s).
+	ScrapeInterval time.Duration
+	// HTTPTimeout bounds each request (default 30s).
+	HTTPTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.NumOps <= 0 {
+		c.NumOps = 2000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Users <= 0 {
+		c.Users = 16
+	}
+	if c.EvolveOps <= 0 {
+		c.EvolveOps = 40
+	}
+	if c.KB.Classes == 0 {
+		c.KB = synth.Small()
+	}
+	if c.ScrapeInterval <= 0 {
+		c.ScrapeInterval = time.Second
+	}
+	if c.HTTPTimeout <= 0 {
+		c.HTTPTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// OpKind enumerates the weighted operation mix.
+type OpKind int
+
+// The operation kinds, in oplog spelling order.
+const (
+	OpCreate OpKind = iota
+	OpCommit
+	OpSubscribe
+	OpUpdate
+	OpUnsubscribe
+	OpRecommend
+	OpGroupRecommend
+	OpNotify
+	OpPoll
+	numOpKinds
+)
+
+var opKindNames = [numOpKinds]string{
+	"create", "commit", "subscribe", "update", "unsubscribe",
+	"recommend", "group-recommend", "notify", "poll",
+}
+
+// String returns the oplog spelling of the kind.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opKindNames) {
+		return fmt.Sprintf("opkind(%d)", int(k))
+	}
+	return opKindNames[k]
+}
+
+// Op is one fully determined operation: everything the HTTP request needs
+// is generated up front, so execution feeds nothing back into generation.
+type Op struct {
+	Seq       int
+	Kind      OpKind
+	Dataset   string
+	User      string
+	Older     string
+	Newer     string
+	K         int
+	Strategy  string
+	Agg       string
+	Threshold float64
+	Interests string
+	Members   []string // "id:Class=w,..." specs for group/notify
+	VersionID string
+	Body      []byte // commit payload (sorted N-Triples)
+	Parity    bool   // sampled for indexed-vs-reference scoring parity
+}
+
+// DatasetPlan describes one dataset the plan drives. Backed datasets carry
+// their v0 base graph — StartInProcess persists it before the run; the
+// generator evolves from it.
+type DatasetPlan struct {
+	Name   string
+	Backed bool
+	Base   *rdf.Graph // nil for in-memory datasets (created over the API)
+}
+
+// Plan is a materialized operation schedule plus the dataset population it
+// assumes. It is a pure function of the generation half of Config.
+type Plan struct {
+	Seed     int64
+	NumOps   int
+	Datasets []DatasetPlan
+	Ops      []Op
+}
+
+// genDS is the generator's view of one dataset while the schedule builds.
+type genDS struct {
+	name    string
+	backed  bool
+	cur     *rdf.Graph
+	nm      *synth.Namer
+	next    int      // next version number to mint
+	version []string // generated version IDs, "v0" first for backed
+	active  []string // currently subscribed users, in subscribe order
+	ever    []string // users ever subscribed, in first-subscribe order
+	isAct   map[string]bool
+	isEver  map[string]bool
+}
+
+func (d *genDS) subscribe(user string) {
+	if !d.isAct[user] {
+		d.isAct[user] = true
+		d.active = append(d.active, user)
+	}
+	if !d.isEver[user] {
+		d.isEver[user] = true
+		d.ever = append(d.ever, user)
+	}
+}
+
+func (d *genDS) unsubscribe(user string) {
+	if !d.isAct[user] {
+		return
+	}
+	delete(d.isAct, user)
+	for i, u := range d.active {
+		if u == user {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// opWeights is the base mix; eligibility gates shift mass to what the
+// generated state allows (e.g. a run starts commit-heavy because nothing
+// is subscribed yet).
+var opWeights = [numOpKinds]int{
+	OpCreate:         2,
+	OpCommit:         10,
+	OpSubscribe:      8,
+	OpUpdate:         4,
+	OpUnsubscribe:    3,
+	OpRecommend:      12,
+	OpGroupRecommend: 4,
+	OpNotify:         3,
+	OpPoll:           8,
+}
+
+// interestWeights is the closed set of profile weights the generator
+// assigns; a closed set keeps oplog lines canonical.
+var interestWeights = [...]float64{0.25, 0.5, 0.75, 1}
+
+// notifyThresholds is the closed set of notify thresholds.
+var notifyThresholds = [...]float64{0.01, 0.05, 0.1, 0.2}
+
+// BuildPlan pre-generates the full operation schedule. All randomness is
+// drawn sequentially from one seeded math/rand source: the returned plan —
+// including every commit body — is a pure function of the generation
+// fields of cfg.
+func BuildPlan(cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BackedDatasets < 0 || cfg.MemDatasets < 0 {
+		return nil, fmt.Errorf("sim: dataset counts must be >= 0")
+	}
+	if cfg.BackedDatasets == 0 && cfg.MemDatasets == 0 {
+		return nil, fmt.Errorf("sim: need at least one dataset (backed or mem)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	evolve := synth.EvolveConfig{Ops: cfg.EvolveOps, Locality: 0.8}
+
+	p := &Plan{Seed: cfg.Seed, NumOps: cfg.NumOps}
+	var dss []*genDS
+	for i := 0; i < cfg.BackedDatasets; i++ {
+		g, nm, err := synth.Generate(cfg.KB, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: generating base KB: %w", err)
+		}
+		d := &genDS{
+			name: fmt.Sprintf("soak%d", i), backed: true,
+			cur: g, nm: nm, next: 1, version: []string{"v0"},
+			isAct: map[string]bool{}, isEver: map[string]bool{},
+		}
+		dss = append(dss, d)
+		p.Datasets = append(p.Datasets, DatasetPlan{Name: d.name, Backed: true, Base: g})
+	}
+	memMade := 0
+
+	// anyPair reports whether some dataset has a recommendable pair.
+	anyPair := func() bool {
+		for _, d := range dss {
+			if len(d.version) >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	anyActive := func() bool {
+		for _, d := range dss {
+			if len(d.active) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	pickDS := func(ok func(*genDS) bool) *genDS {
+		elig := make([]*genDS, 0, len(dss))
+		for _, d := range dss {
+			if ok(d) {
+				elig = append(elig, d)
+			}
+		}
+		if len(elig) == 0 {
+			return nil
+		}
+		return elig[rng.Intn(len(elig))]
+	}
+
+	for seq := 0; seq < cfg.NumOps; seq++ {
+		total := 0
+		var elig [numOpKinds]bool
+		for k := OpKind(0); k < numOpKinds; k++ {
+			switch k {
+			case OpCreate:
+				elig[k] = memMade < cfg.MemDatasets
+			case OpCommit, OpSubscribe:
+				elig[k] = len(dss) > 0
+			case OpUpdate, OpUnsubscribe:
+				elig[k] = anyActive()
+			case OpRecommend, OpGroupRecommend, OpNotify:
+				elig[k] = anyPair()
+			case OpPoll:
+				elig[k] = len(dss) > 0
+			}
+			if elig[k] {
+				total += opWeights[k]
+			}
+		}
+		r := rng.Intn(total)
+		kind := OpKind(0)
+		for k := OpKind(0); k < numOpKinds; k++ {
+			if !elig[k] {
+				continue
+			}
+			if r < opWeights[k] {
+				kind = k
+				break
+			}
+			r -= opWeights[k]
+		}
+
+		op := Op{Seq: seq, Kind: kind}
+		switch kind {
+		case OpCreate:
+			g, nm, err := synth.Generate(cfg.KB, rng)
+			if err != nil {
+				return nil, fmt.Errorf("sim: generating base KB: %w", err)
+			}
+			d := &genDS{
+				name: fmt.Sprintf("mem%d", memMade), backed: false,
+				cur: g, nm: nm, next: 1,
+				isAct: map[string]bool{}, isEver: map[string]bool{},
+			}
+			memMade++
+			dss = append(dss, d)
+			p.Datasets = append(p.Datasets, DatasetPlan{Name: d.name})
+			op.Dataset = d.name
+
+		case OpCommit:
+			d := pickDS(func(*genDS) bool { return true })
+			g, _, err := synth.Evolve(d.cur, evolve, d.nm, rng)
+			if err != nil {
+				return nil, fmt.Errorf("sim: evolving %s: %w", d.name, err)
+			}
+			d.cur = g
+			id := fmt.Sprintf("v%d", d.next)
+			d.next++
+			d.version = append(d.version, id)
+			var buf bytes.Buffer
+			if err := rdf.WriteNTriples(&buf, g); err != nil {
+				return nil, fmt.Errorf("sim: serializing %s %s: %w", d.name, id, err)
+			}
+			op.Dataset, op.VersionID, op.Body = d.name, id, buf.Bytes()
+
+		case OpSubscribe:
+			d := pickDS(func(*genDS) bool { return true })
+			user := fmt.Sprintf("u%02d", rng.Intn(cfg.Users))
+			op.Dataset, op.User = d.name, user
+			op.Interests = genInterests(rng, cfg.KB.Classes)
+			d.subscribe(user)
+
+		case OpUpdate:
+			d := pickDS(func(d *genDS) bool { return len(d.active) > 0 })
+			user := d.active[rng.Intn(len(d.active))]
+			op.Dataset, op.User = d.name, user
+			op.Interests = genInterests(rng, cfg.KB.Classes)
+
+		case OpUnsubscribe:
+			d := pickDS(func(d *genDS) bool { return len(d.active) > 0 })
+			user := d.active[rng.Intn(len(d.active))]
+			op.Dataset, op.User = d.name, user
+			d.unsubscribe(user)
+
+		case OpRecommend:
+			d := pickDS(func(d *genDS) bool { return len(d.version) >= 2 })
+			op.Dataset = d.name
+			op.Older, op.Newer = pickPair(rng, d.version)
+			op.K = 1 + rng.Intn(5)
+			op.User = fmt.Sprintf("u%02d", rng.Intn(cfg.Users))
+			op.Interests = genInterests(rng, cfg.KB.Classes)
+			switch rng.Intn(12) {
+			case 8:
+				op.Strategy = "mmr"
+			case 9:
+				op.Strategy = "maxmin"
+			case 10:
+				op.Strategy = "novelty"
+			case 11:
+				op.Strategy = "semantic"
+			default:
+				op.Strategy = "plain"
+			}
+
+		case OpGroupRecommend:
+			d := pickDS(func(d *genDS) bool { return len(d.version) >= 2 })
+			op.Dataset = d.name
+			op.Older, op.Newer = pickPair(rng, d.version)
+			op.K = 1 + rng.Intn(4)
+			op.Members = genMembers(rng, cfg.Users, cfg.KB.Classes, 2+rng.Intn(3))
+			switch rng.Intn(3) {
+			case 0:
+				op.Agg = "average"
+			case 1:
+				op.Agg = "least_misery"
+			default:
+				op.Agg = "most_pleasure"
+			}
+
+		case OpNotify:
+			d := pickDS(func(d *genDS) bool { return len(d.version) >= 2 })
+			op.Dataset = d.name
+			op.Older, op.Newer = pickPair(rng, d.version)
+			op.K = 1 + rng.Intn(3)
+			op.Threshold = notifyThresholds[rng.Intn(len(notifyThresholds))]
+			op.Members = genMembers(rng, cfg.Users, cfg.KB.Classes, 1+rng.Intn(3))
+
+		case OpPoll:
+			d := pickDS(func(*genDS) bool { return true })
+			op.Dataset = d.name
+			if len(d.ever) == 0 || rng.Intn(10) == 0 {
+				// A user that never subscribed: the poll must 404 (no
+				// retained log) — the negative half of the delivery
+				// invariant.
+				op.User = fmt.Sprintf("ghost%d", rng.Intn(4))
+			} else {
+				op.User = d.ever[rng.Intn(len(d.ever))]
+			}
+		}
+		p.Ops = append(p.Ops, op)
+	}
+
+	// Parity sampling: every cfg.ParityEvery-th plain recommend, assigned
+	// after the fact so sampling never perturbs the rng stream shared with
+	// op content.
+	if cfg.ParityEvery > 0 {
+		plain := 0
+		for i := range p.Ops {
+			op := &p.Ops[i]
+			if op.Kind == OpRecommend && op.Strategy == "plain" {
+				if plain%cfg.ParityEvery == 0 {
+					op.Parity = true
+				}
+				plain++
+			}
+		}
+	}
+	return p, nil
+}
+
+// pickPair selects an adjacent generated version pair, biased to the most
+// recent few — what a live subscriber would ask about.
+func pickPair(rng *rand.Rand, versions []string) (older, newer string) {
+	span := len(versions) - 1 // adjacent pairs available
+	back := rng.Intn(min(span, 4))
+	i := span - 1 - back
+	return versions[i], versions[i+1]
+}
+
+// genInterests emits a canonical "C0003=0.5,C0007=1" spec: 1–3 distinct
+// classes from the KB's initial class universe, ascending, weights from the
+// closed set. Classes deleted by evolution still parse — an interest is a
+// profile term, not a graph lookup.
+func genInterests(rng *rand.Rand, classes int) string {
+	n := 1 + rng.Intn(3)
+	if n > classes {
+		n = classes
+	}
+	picked := make(map[int]bool, n)
+	ids := make([]int, 0, n)
+	for len(ids) < n {
+		c := 1 + rng.Intn(classes)
+		if !picked[c] {
+			picked[c] = true
+			ids = append(ids, c)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for i, c := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		w := interestWeights[rng.Intn(len(interestWeights))]
+		fmt.Fprintf(&b, "C%04d=%s", c, strconv.FormatFloat(w, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// genMembers emits n distinct "uNN:interests" user specs.
+func genMembers(rng *rand.Rand, users, classes, n int) []string {
+	if n > users {
+		n = users
+	}
+	picked := make(map[int]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		u := rng.Intn(users)
+		if picked[u] {
+			continue
+		}
+		picked[u] = true
+		out = append(out, fmt.Sprintf("u%02d:%s", u, genInterests(rng, classes)))
+	}
+	return out
+}
+
+// WriteOpLog renders the plan as one line per operation (plus a header and
+// one line per dataset). Commit bodies appear as SHA-256 prefixes, so the
+// log is both human-scannable and a byte-exact determinism witness: two
+// runs of `evorec sim -seed N -oplog` must produce identical files.
+func (p *Plan) WriteOpLog(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("# evorec sim oplog seed=%d ops=%d\n", p.Seed, p.NumOps)
+	for _, d := range p.Datasets {
+		if d.Backed {
+			var buf bytes.Buffer
+			if err := rdf.WriteNTriples(&buf, d.Base); err != nil {
+				return err
+			}
+			bw.printf("# dataset %s backed base_sha=%s triples=%d\n",
+				d.Name, shortSHA(buf.Bytes()), d.Base.Len())
+		} else {
+			bw.printf("# dataset %s mem\n", d.Name)
+		}
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		bw.printf("%06d %s ds=%s", op.Seq, op.Kind, op.Dataset)
+		if op.User != "" {
+			bw.printf(" user=%s", op.User)
+		}
+		if op.VersionID != "" {
+			bw.printf(" version=%s body_sha=%s bytes=%d", op.VersionID, shortSHA(op.Body), len(op.Body))
+		}
+		if op.Older != "" {
+			bw.printf(" pair=%s..%s", op.Older, op.Newer)
+		}
+		if op.K != 0 {
+			bw.printf(" k=%d", op.K)
+		}
+		if op.Strategy != "" {
+			bw.printf(" strategy=%s", op.Strategy)
+		}
+		if op.Agg != "" {
+			bw.printf(" agg=%s", op.Agg)
+		}
+		if op.Threshold != 0 {
+			bw.printf(" threshold=%s", strconv.FormatFloat(op.Threshold, 'g', -1, 64))
+		}
+		if op.Interests != "" {
+			bw.printf(" interests=%s", op.Interests)
+		}
+		if len(op.Members) > 0 {
+			bw.printf(" members=%s", strings.Join(op.Members, ";"))
+		}
+		if op.Parity {
+			bw.printf(" parity=1")
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+func shortSHA(b []byte) string {
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// errWriter latches the first write error so WriteOpLog stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

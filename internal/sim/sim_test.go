@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInProcessSoak is the end-to-end integration of the whole harness: a
+// real server stack (store, WAL, service, feeds, HTTP, telemetry) under an
+// unpaced concurrent mix, with every invariant and conservation law armed.
+// Any nonzero violation count is a bug in the server or in the oracle — both
+// are worth failing loudly over.
+func TestInProcessSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is seconds-long; skipped under -short")
+	}
+	cfg := Config{
+		Seed:           3,
+		NumOps:         300,
+		Concurrency:    4,
+		BackedDatasets: 1,
+		MemDatasets:    2,
+		Users:          8,
+		ParityEvery:    3,
+		EvolveOps:      25,
+		Strict:         true,
+		ScrapeInterval: 300 * time.Millisecond,
+		Logf:           t.Logf,
+	}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := StartInProcess(plan, InProcOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+	cfg.BaseURL, cfg.OpsURL = srv.BaseURL, srv.OpsURL
+
+	res, err := Run(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		for _, s := range res.Samples {
+			t.Error(s)
+		}
+		t.Fatalf("%d violations over %d checks (by category: %v)",
+			res.Violations, res.Checks, res.ByCategory)
+	}
+	// The run must have actually exercised the system, not vacuously passed.
+	if res.Checks < 1000 {
+		t.Errorf("only %d invariant checks ran", res.Checks)
+	}
+	if res.Commits2xx == 0 {
+		t.Error("no commits were acknowledged")
+	}
+	if res.Fanouts == 0 {
+		t.Error("no fan-outs were delivered")
+	}
+	if res.Notified == 0 {
+		t.Error("no notifications reached any subscriber")
+	}
+	if res.Parity == 0 {
+		t.Error("no parity comparisons ran")
+	}
+	if res.Scrapes == 0 {
+		t.Error("the telemetry oracle never scraped /metrics")
+	}
+	if res.TracesSeen == 0 {
+		t.Error("the traces cursor never advanced")
+	}
+	if res.Transport != 0 {
+		t.Errorf("%d transport errors against an in-process server", res.Transport)
+	}
+	rep := res.Report()
+	if rep.OpsPerSec <= 0 || len(rep.PerOp) == 0 {
+		t.Errorf("report lacks throughput/latency data: %+v", rep)
+	}
+	if _, ok := rep.PerOp["commit"]; !ok {
+		t.Error("report has no commit latency stats")
+	}
+}
