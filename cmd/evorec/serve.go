@@ -38,6 +38,29 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 	return set
 }
 
+// parseRouteTimeouts resolves -route-timeout specs: a bare duration sets
+// the default for every route, route=duration overrides one route label.
+func parseRouteTimeouts(specs []string) (def time.Duration, perRoute map[string]time.Duration, err error) {
+	for _, spec := range specs {
+		route, durSpec, found := strings.Cut(spec, "=")
+		if !found {
+			if def, err = time.ParseDuration(spec); err != nil {
+				return 0, nil, fmt.Errorf("-route-timeout %q is not a duration", spec)
+			}
+			continue
+		}
+		d, err := time.ParseDuration(durSpec)
+		if err != nil {
+			return 0, nil, fmt.Errorf("-route-timeout %q: %q is not a duration", spec, durSpec)
+		}
+		if perRoute == nil {
+			perRoute = make(map[string]time.Duration)
+		}
+		perRoute[route] = d
+	}
+	return def, perRoute, nil
+}
+
 // validateCacheCap rejects capacities below 1 with a clear error; silent
 // clamping would hide a misconfigured service.
 func validateCacheCap(n int) error {
@@ -78,9 +101,20 @@ func cmdServe(args []string) error {
 	latencyBuckets := fs.String("latency-buckets", "",
 		"comma-separated HTTP latency histogram bucket bounds in seconds, strictly increasing (empty = default schedule)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 0,
+		"bound on closing datasets at shutdown (checkpoints + feed flushes); 0 waits indefinitely; datasets still draining at the deadline are logged and abandoned")
+	buildConcurrency := fs.Int("build-concurrency", evorec.DefaultBuildConcurrency,
+		"concurrent cold pair builds before read requests shed with 503 (negative = unlimited)")
+	healBackoff := fs.Duration("heal-backoff", evorec.DefaultHealBackoff,
+		"initial retry delay of the degraded-dataset heal probe (doubles with jitter per failed attempt)")
+	healBackoffMax := fs.Duration("heal-backoff-max", evorec.DefaultHealBackoffMax,
+		"cap on the heal probe's retry delay")
 	var datasets, mems repeatedFlag
+	var routeTimeouts repeatedFlag
 	fs.Var(&datasets, "dataset", "name=dir of a binary store to serve (repeatable)")
 	fs.Var(&mems, "mem", "name of an empty in-memory dataset to create (repeatable)")
+	fs.Var(&routeTimeouts, "route-timeout",
+		"per-request deadline as a bare duration for every route, or route=duration for one route label (repeatable; route 0 disables; expired deadlines answer 504)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +148,16 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("-latency-buckets: %w", err)
 		}
 	}
+	if *healBackoff <= 0 {
+		return fmt.Errorf("-heal-backoff must be > 0, got %s", *healBackoff)
+	}
+	if *healBackoffMax < *healBackoff {
+		return fmt.Errorf("-heal-backoff-max (%s) must be >= -heal-backoff (%s)", *healBackoffMax, *healBackoff)
+	}
+	defRouteTimeout, perRouteTimeouts, err := parseRouteTimeouts(routeTimeouts)
+	if err != nil {
+		return err
+	}
 	if len(datasets) == 0 && len(mems) == 0 {
 		return fmt.Errorf("usage: evorec serve [-addr a] [-ops-addr a] [-cache-cap n] [-feed-dir d] -dataset name=dir [-mem name]")
 	}
@@ -131,6 +175,8 @@ func cmdServe(args []string) error {
 	svc := evorec.NewService(evorec.ServiceConfig{
 		CacheCap: *cacheCap, FeedDir: *feedDir, FeedWorkers: *feedWorkers,
 		Metrics: reg, Tracer: tracer, Logger: logger,
+		BuildConcurrency: *buildConcurrency,
+		HealBackoff:      *healBackoff, HealBackoffMax: *healBackoffMax,
 	})
 	for _, spec := range datasets {
 		name, dir, found := strings.Cut(spec, "=")
@@ -171,6 +217,8 @@ func cmdServe(args []string) error {
 			Logger:            logger,
 			Tracer:            tracer,
 			LatencyBuckets:    buckets,
+			RouteTimeout:      defRouteTimeout,
+			RouteTimeouts:     perRouteTimeouts,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
@@ -227,12 +275,27 @@ func cmdServe(args []string) error {
 	if opsSrv != nil {
 		opsSrv.Close() //nolint:errcheck // operator surface; nothing to drain
 	}
+	// closeSvc bounds the dataset close (commit-queue drain, checkpoint,
+	// feed flush) with -shutdown-timeout; datasets still draining at the
+	// deadline are logged by name and abandoned — the process is exiting,
+	// and their WALs replay the unfolded tail on the next open.
+	closeSvc := func() error {
+		if *shutdownTimeout <= 0 {
+			return svc.Close()
+		}
+		abandoned, err := svc.CloseTimeout(*shutdownTimeout)
+		for _, name := range abandoned {
+			logger.Error("shutdown timeout: dataset abandoned mid-close; its WAL replays on next open",
+				"dataset", name, "timeout", *shutdownTimeout)
+		}
+		return err
+	}
 	start := time.Now()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		// Persist what we can even when the drain timed out: Close drains the
 		// commit queues, checkpoints every store's WAL and flushes the feeds.
 		logger.Error("drain timed out; closing anyway", "error", err, "duration", time.Since(start))
-		if cerr := svc.Close(); cerr != nil {
+		if cerr := closeSvc(); cerr != nil {
 			logger.Error("close failed", "error", cerr)
 			return errors.Join(err, cerr)
 		}
@@ -240,7 +303,7 @@ func cmdServe(args []string) error {
 	}
 	logger.Info("requests drained", "duration", time.Since(start))
 	start = time.Now()
-	if err := svc.Close(); err != nil {
+	if err := closeSvc(); err != nil {
 		logger.Error("close failed", "error", err)
 		return err
 	}

@@ -31,6 +31,8 @@ func cmdSim(args []string) error {
 	parityEvery := fs.Int("parity-every", 4,
 		"check every Nth plain recommend against the reference scorer (0 disables)")
 	evolveOps := fs.Int("evolve-ops", 40, "synthetic change operations per committed version")
+	chaos := fs.Int("chaos", 0,
+		"seeded store-fault windows to schedule mid-run (0 disables; in-process only)")
 	addr := fs.String("addr", "",
 		"remote API base URL; empty boots an in-process server (backed dataset, strict oracle)")
 	opsURL := fs.String("ops-url", "",
@@ -47,6 +49,12 @@ func cmdSim(args []string) error {
 	if *ops < 0 {
 		return fmt.Errorf("-ops must be >= 0, got %d", *ops)
 	}
+	if *chaos < 0 {
+		return fmt.Errorf("-chaos must be >= 0, got %d", *chaos)
+	}
+	if *chaos > 0 && *addr != "" {
+		return fmt.Errorf("-chaos needs the in-process server (the fault injector wraps its filesystem); drop -addr")
+	}
 	numOps := *ops
 	if numOps == 0 {
 		if *rate <= 0 {
@@ -59,14 +67,15 @@ func cmdSim(args []string) error {
 	}
 
 	cfg := evorec.SimConfig{
-		Seed:        *seed,
-		NumOps:      numOps,
-		Rate:        *rate,
-		Concurrency: *concurrency,
-		MemDatasets: *mem,
-		Users:       *users,
-		ParityEvery: *parityEvery,
-		EvolveOps:   *evolveOps,
+		Seed:         *seed,
+		NumOps:       numOps,
+		Rate:         *rate,
+		Concurrency:  *concurrency,
+		MemDatasets:  *mem,
+		Users:        *users,
+		ParityEvery:  *parityEvery,
+		EvolveOps:    *evolveOps,
+		ChaosWindows: *chaos,
 	}
 	if *addr == "" {
 		cfg.BackedDatasets = 1
@@ -103,6 +112,7 @@ func cmdSim(args []string) error {
 		}
 		defer srv.Close() //nolint:errcheck // teardown of a temp stack
 		cfg.BaseURL, cfg.OpsURL = srv.BaseURL, srv.OpsURL
+		cfg.Fault = srv.Chaos
 	} else {
 		cfg.BaseURL, cfg.OpsURL = *addr, *opsURL
 	}
@@ -130,8 +140,13 @@ func cmdSim(args []string) error {
 		res.Seed, res.Ops, res.Elapsed.Seconds(), float64(res.Ops)/res.Elapsed.Seconds())
 	fmt.Printf("  checks=%d violations=%d parity=%d scrapes=%d traces=%d\n",
 		res.Checks, res.Violations, res.Parity, res.Scrapes, res.TracesSeen)
-	fmt.Printf("  commits: acked=%d busy=%d fanouts=%d notifications=%d\n",
+	fmt.Printf("  commits: acked=%d 503=%d fanouts=%d notifications=%d\n",
 		res.Commits2xx, res.Commits503, res.Fanouts, res.Notified)
+	if res.ChaosWindows > 0 {
+		fmt.Printf("  chaos: windows=%d degraded=%g healed=%g 503s busy=%d degraded=%d reads=%d\n",
+			res.ChaosWindows, res.DegradedEntries, res.Heals,
+			res.Commits503Busy, res.Commits503Degraded, res.Reads503)
+	}
 	kinds := make([]string, 0, len(res.PerOp))
 	for k := range res.PerOp {
 		kinds = append(kinds, k)

@@ -754,6 +754,16 @@ var (
 	ErrDuplicateDataset = service.ErrDuplicateDataset
 	ErrCommitBusy       = service.ErrCommitBusy
 	ErrDatasetClosed    = service.ErrDatasetClosed
+	ErrDegraded         = service.ErrDegraded
+	ErrBuildBusy        = service.ErrBuildBusy
+)
+
+// Resilience defaults: the cold pair-build concurrency gate and the
+// degraded-dataset heal probe's backoff window.
+const (
+	DefaultBuildConcurrency = service.DefaultBuildConcurrency
+	DefaultHealBackoff      = service.DefaultHealBackoff
+	DefaultHealBackoffMax   = service.DefaultHealBackoffMax
 )
 
 // NewService returns an empty dataset registry.

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ const RequestIDHeader = "X-Request-Id"
 //	evorec_http_request_seconds{route}              latency histogram
 //	evorec_http_in_flight                           currently-served gauge
 //	evorec_http_response_bytes_total{route}         body bytes written
+//	evorec_http_panics_total{route}                 handler panics contained
 //
 // Routes are mux patterns ("/v1/datasets/{name}"), never raw paths, so
 // label cardinality is fixed by the API surface.
@@ -30,6 +32,7 @@ type HTTPMetrics struct {
 	latency  *HistogramVec
 	inFlight *Gauge
 	bytes    *CounterVec
+	panics   *CounterVec
 	logger   *slog.Logger
 	tracer   *Tracer
 }
@@ -69,6 +72,9 @@ func NewHTTPMetricsBuckets(reg *Registry, logger *slog.Logger, tracer *Tracer, b
 		bytes: reg.CounterVec("evorec_http_response_bytes_total",
 			"HTTP response body bytes written, by route pattern.",
 			"route"),
+		panics: reg.CounterVec("evorec_http_panics_total",
+			"Handler panics recovered by the containment middleware (request got a 500, server kept serving).",
+			"route"),
 		logger: logger,
 	}
 }
@@ -98,6 +104,42 @@ func ParseBuckets(spec string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// serveContained runs the handler under panic containment: a panicking
+// handler yields a 500 (when no response has started), a tick of
+// evorec_http_panics_total{route}, an Error log line with the stack, and a
+// "panic" span attribute — and the goroutine returns normally, so the
+// accounting after it (latency, status class, in-flight) still runs and
+// the server keeps serving. Only net/http's own ErrAbortHandler is
+// re-raised; it is the sanctioned way to abort a response mid-flight.
+func (m *HTTPMetrics) serveContained(route string, rw *respWriter, r *http.Request, next http.Handler, span *Span, reqID string) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		m.panics.With(route).Inc()
+		stack := string(debug.Stack())
+		span.SetAttr("panic", fmt.Sprint(rec))
+		if m.logger != nil {
+			m.logger.Error("handler panicked",
+				"request_id", reqID,
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"panic", fmt.Sprint(rec),
+				"stack", stack,
+			)
+		}
+		if rw.status == 0 {
+			http.Error(rw, "internal server error", http.StatusInternalServerError)
+		}
+	}()
+	next.ServeHTTP(rw, r)
 }
 
 // RouteLabel derives the metrics label from a mux pattern: the method
@@ -186,8 +228,10 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 		rw := &respWriter{ResponseWriter: w}
 		start := time.Now()
 		m.inFlight.Add(1)
-		next.ServeHTTP(rw, r.WithContext(ctx))
-		m.inFlight.Add(-1)
+		// Deferred, not sequential: a re-raised http.ErrAbortHandler must
+		// still balance the gauge on its way up to net/http's recovery.
+		defer m.inFlight.Add(-1)
+		m.serveContained(route, rw, r.WithContext(ctx), next, span, id)
 		elapsed := time.Since(start)
 		status := rw.status
 		if status == 0 {

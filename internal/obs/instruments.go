@@ -297,6 +297,60 @@ func (v *CounterVec) series(name string, out []sample, withEx bool) []sample {
 	return out
 }
 
+// GaugeVec is a gauge family partitioned by a fixed label set.
+type GaugeVec struct {
+	h      string
+	labels []string
+	mu     sync.RWMutex
+	m      map[string]*Gauge
+	order  []string
+	vals   map[string][]string
+}
+
+// With returns the child gauge for the given label values. Nil-receiver
+// safe: a nil vec returns a nil gauge, itself a no-op.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key := joinKey(values)
+	v.mu.RLock()
+	g, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.m[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.m[key] = g
+	v.order = append(v.order, key)
+	if v.vals == nil {
+		v.vals = make(map[string][]string)
+	}
+	v.vals[key] = append([]string(nil), values...)
+	return g
+}
+
+func (v *GaugeVec) kind() string { return "gauge" }
+func (v *GaugeVec) help() string { return v.h }
+func (v *GaugeVec) series(name string, out []sample, withEx bool) []sample {
+	v.mu.RLock()
+	keys := append([]string(nil), v.order...)
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		v.mu.RLock()
+		g, vals := v.m[key], v.vals[key]
+		v.mu.RUnlock()
+		out = append(out, sample{labels: labelBlock(v.labels, vals), value: g.Value()})
+	}
+	return out
+}
+
 // HistogramVec is a histogram family partitioned by a fixed label set.
 type HistogramVec struct {
 	h       string

@@ -128,6 +128,16 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	}).(*CounterVec)
 }
 
+// GaugeVec returns the named gauge family partitioned by labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, func() instrument {
+		return &GaugeVec{h: help, labels: labels, m: make(map[string]*Gauge)}
+	}).(*GaugeVec)
+}
+
 // HistogramVec returns the named histogram family partitioned by labels.
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
 	if r == nil {

@@ -30,6 +30,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"evorec/internal/core"
 	"evorec/internal/obs"
@@ -74,6 +76,18 @@ type Config struct {
 	// obs.ParseBuckets validates the CLI spelling). Nil keeps
 	// obs.DefBuckets, so existing expositions are unchanged.
 	LatencyBuckets []float64
+	// RouteTimeout bounds every request's handler via context.WithTimeout:
+	// the deadline threads through the service into store materialization
+	// and cold pair builds, so an expired request stops consuming the write
+	// lock instead of finishing work nobody will read. Zero disables
+	// deadlines (the historical behavior). An expired deadline surfaces as
+	// 504.
+	RouteTimeout time.Duration
+	// RouteTimeouts overrides RouteTimeout per route label (the mux pattern
+	// without the method, e.g. "/v1/datasets/{name}/recommend"). A zero or
+	// negative override disables the deadline for that route — commits
+	// against slow disks often want exactly that.
+	RouteTimeouts map[string]time.Duration
 }
 
 // Server is the HTTP front-end over a Service. It implements http.Handler
@@ -84,6 +98,9 @@ type Server struct {
 	httpm      *obs.HTTPMetrics
 	retryAfter string       // pre-formatted Retry-After header value
 	rejections *obs.Counter // 503s sent (nil when uninstrumented)
+
+	defTimeout    time.Duration
+	routeTimeouts map[string]time.Duration
 }
 
 // New builds the HTTP API over the service with default configuration.
@@ -96,14 +113,16 @@ func NewWithConfig(svc *service.Service, cfg Config) *Server {
 		retry = DefaultRetryAfterSeconds
 	}
 	s := &Server{
-		svc:        svc,
-		mux:        http.NewServeMux(),
-		httpm:      obs.NewHTTPMetricsBuckets(cfg.Metrics, cfg.Logger, cfg.Tracer, cfg.LatencyBuckets),
-		retryAfter: strconv.Itoa(retry),
+		svc:           svc,
+		mux:           http.NewServeMux(),
+		httpm:         obs.NewHTTPMetricsBuckets(cfg.Metrics, cfg.Logger, cfg.Tracer, cfg.LatencyBuckets),
+		retryAfter:    strconv.Itoa(retry),
+		defTimeout:    cfg.RouteTimeout,
+		routeTimeouts: cfg.RouteTimeouts,
 	}
 	if cfg.Metrics != nil {
 		s.rejections = cfg.Metrics.Counter("evorec_http_rejections_total",
-			"Requests rejected with 503 (commit queue saturated or dataset closing).")
+			"Requests rejected with 503 (commit queue saturated, dataset degraded or closing, cold-build gate full).")
 		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	}
 	s.mux.Handle("GET /healthz", obs.HealthHandler(obs.FromBuildInfo("evorec"), nil))
@@ -131,8 +150,31 @@ func NewWithConfig(svc *service.Service, cfg Config) *Server {
 // label comes from the registration pattern (bounded cardinality — the
 // mux's path wildcards, never raw request paths). With no metrics and no
 // logger the middleware is a nil receiver and the handler mounts bare.
+// The deadline middleware nests inside the observability wrapper, so panic
+// containment covers it and the 504 is still counted/logged per route.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
-	s.mux.Handle(pattern, s.httpm.Wrap(obs.RouteLabel(pattern), h))
+	label := obs.RouteLabel(pattern)
+	s.mux.Handle(pattern, s.httpm.Wrap(label, s.withDeadline(label, h)))
+}
+
+// withDeadline bounds the handler with the route's configured timeout via
+// context.WithTimeout. The deadline travels the request context into the
+// service layer (queue waits, cold pair builds, store materialization), so
+// expiry abandons in-progress work instead of merely abandoning the
+// response. Routes without a timeout mount the handler unchanged.
+func (s *Server) withDeadline(label string, h http.Handler) http.Handler {
+	t, ok := s.routeTimeouts[label]
+	if !ok {
+		t = s.defTimeout
+	}
+	if t <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), t)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // ServeHTTP dispatches to the API routes.
@@ -154,11 +196,13 @@ type errorBody struct {
 }
 
 // writeErr maps service sentinel errors to HTTP statuses; everything else
-// (malformed input wrapped by the handlers) is a 400. Overload and shutdown
-// (ErrCommitBusy, ErrDatasetClosed) are 503 with the configured Retry-After,
-// telling well-behaved clients to back off rather than retry immediately;
-// each such rejection is also counted so a load-shedding episode shows up
-// as a rate, not just client-side errors.
+// (malformed input wrapped by the handlers) is a 400. Overload and failure
+// shedding (ErrCommitBusy, ErrDatasetClosed, ErrDegraded, ErrBuildBusy) are
+// 503 with the configured Retry-After, telling well-behaved clients to back
+// off rather than retry immediately; each such rejection is also counted so
+// a load-shedding episode shows up as a rate, not just client-side errors.
+// An expired route deadline is 504 — the client's budget ran out, nothing
+// was shed, so it stays out of the rejection counter.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
@@ -167,10 +211,13 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, service.ErrDuplicateVersion), errors.Is(err, service.ErrDuplicateDataset):
 		status = http.StatusConflict
-	case errors.Is(err, service.ErrCommitBusy), errors.Is(err, service.ErrDatasetClosed):
+	case errors.Is(err, service.ErrCommitBusy), errors.Is(err, service.ErrDatasetClosed),
+		errors.Is(err, service.ErrDegraded), errors.Is(err, service.ErrBuildBusy):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", s.retryAfter)
 		s.rejections.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

@@ -40,6 +40,14 @@ func newTracedServer(t *testing.T) (*server.Server, *service.Service, *obs.Trace
 	if _, err := svc.Open("kb", storeDir); err != nil {
 		t.Fatal(err)
 	}
+	// Close before the TempDir cleanup (LIFO): a commit's post-ack
+	// WAL-bound checkpoint may still be writing when the test body returns,
+	// and RemoveAll racing those segment writes flakes the teardown.
+	t.Cleanup(func() {
+		if err := svc.Close(); err != nil {
+			t.Errorf("closing traced service: %v", err)
+		}
+	})
 	srv := server.NewWithConfig(svc, server.Config{Metrics: reg, Tracer: tracer})
 	return srv, svc, tracer, reg, vs
 }

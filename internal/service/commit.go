@@ -141,8 +141,9 @@ func (d *Dataset) walPastBound() bool {
 // checkpointStore folds the WAL into a durable checkpoint, recording the
 // trigger reason ("idle" between bursts, "wal-bound" under sustained
 // load) in the checkpoint-duration histogram. A checkpoint failure
-// poisons the store handle and surfaces on the next commit, so the error
-// is not separately reported here.
+// poisons the store handle AND is reported the moment it happens — a
+// failure-count tick, a WARN line, and the transition into the degraded
+// state that suspends commits while the heal probe works the disk.
 func (d *Dataset) checkpointStore(reason string) {
 	if d.sds == nil {
 		return
@@ -153,8 +154,16 @@ func (d *Dataset) checkpointStore(reason string) {
 		// A checkpoint fsyncs segments, dict and manifest while holding the
 		// write lock; /readyz reports not-ready for the duration.
 		d.health.begin(blockCheckpoint)
-		d.sds.CheckpointReason(reason) //nolint:errcheck // poisons the handle; next commit reports it
+		err := d.sds.CheckpointReason(reason)
 		d.health.end(blockCheckpoint)
+		if err != nil {
+			d.metrics.incCheckpointFailure(reason)
+			if d.logger != nil {
+				d.logger.Warn("checkpoint failed",
+					"dataset", d.name, "reason", reason, "error", err.Error())
+			}
+			d.enterDegradedLocked(err)
+		}
 	}
 }
 
@@ -233,6 +242,17 @@ func (d *Dataset) commitBatch(batch []*commitReq) {
 		}
 		entries, err := d.sds.AppendBatchCtx(bctx, vs)
 		if err != nil {
+			// A poisoned store handle means the write path itself failed
+			// (WAL append, segment write, inline checkpoint) — enter the
+			// degraded state so later commits shed at the door while the
+			// heal probe retries. The "mid-commit" marker lets clients and
+			// the sim oracle distinguish this batch's 503s from the cheap
+			// enqueue-time refusals.
+			if d.sds.Failed() != nil {
+				d.enterDegradedLocked(err)
+				d.metrics.addCommitDegraded(len(ok))
+				err = fmt.Errorf("%w mid-commit: dataset %q: %v", ErrDegraded, d.name, err)
+			}
 			for _, s := range ok {
 				s.req.done <- commitResult{err: err}
 			}

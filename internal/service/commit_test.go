@@ -153,3 +153,91 @@ func TestServiceCommitBusy(t *testing.T) {
 		t.Fatalf("commit after close = %v, want ErrDatasetClosed", err)
 	}
 }
+
+// TestServiceCommitCloseRace races a commit storm against Service.Close and
+// holds the shutdown path to exactly-once semantics: every Commit call must
+// resolve — within a bound, to an ack or to a shedding sentinel — and the
+// reopened store must contain every acked commit and none of the refused
+// ones. A hang here is the commit queue and the close drain deadlocking; a
+// ghost version is a refusal whose WAL record escaped anyway.
+func TestServiceCommitCloseRace(t *testing.T) {
+	fsys := vfs.NewMemFS()
+	dir := seedMemStore(t, fsys)
+	svc := New(Config{FS: fsys})
+	d, err := svc.Open("ds", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One guaranteed pre-close ack, so the survival half of the assertion
+	// is never vacuous on a fast Close.
+	if _, err := d.Commit("pre", strings.NewReader(ntriple("pre", "x"))); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 6, 8
+	type outcome struct {
+		id  string
+		err error
+	}
+	results := make(chan outcome, workers*perWorker)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("race-w%d-c%d", w, i)
+				_, err := d.Commit(id, strings.NewReader(ntriple(id, "x")))
+				results <- outcome{id, err}
+			}
+		}(w)
+	}
+	close(start)
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- svc.Close() }()
+
+	settled := make(chan struct{})
+	go func() { wg.Wait(); close(settled) }()
+	select {
+	case <-settled:
+	case <-time.After(30 * time.Second):
+		t.Fatal("commits hung while racing Close")
+	}
+	if err := <-closeErr; err != nil {
+		t.Fatalf("close during commit storm: %v", err)
+	}
+	close(results)
+	acked := map[string]bool{"pre": true}
+	refused := map[string]bool{}
+	for r := range results {
+		switch {
+		case r.err == nil:
+			acked[r.id] = true
+		case errors.Is(r.err, ErrDatasetClosed), errors.Is(r.err, ErrCommitBusy):
+			refused[r.id] = true
+		default:
+			t.Fatalf("commit %s resolved to an unexpected error: %v", r.id, r.err)
+		}
+	}
+	if len(acked)-1+len(refused) != workers*perWorker {
+		t.Fatalf("resolved %d acked + %d refused, want %d total",
+			len(acked)-1, len(refused), workers*perWorker)
+	}
+
+	back, err := store.OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatalf("reopen after racing close: %v", err)
+	}
+	for id := range acked {
+		if !back.Has(id) {
+			t.Errorf("acknowledged commit %q lost across Close", id)
+		}
+	}
+	for id := range refused {
+		if back.Has(id) {
+			t.Errorf("refused commit %q landed anyway (ghost write)", id)
+		}
+	}
+}

@@ -2,12 +2,15 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"evorec/internal/core"
 	"evorec/internal/delta"
@@ -59,11 +62,27 @@ type Dataset struct {
 	// health tracks readiness blockers for the owning service's /readyz
 	// (nil for datasets built outside a Service).
 	health *readyState
+
+	// state is the write-path state machine (healthy/degraded/healing; see
+	// degraded.go). Reads never consult it; commits shed while != healthy.
+	state atomic.Int32
+	// probeStop/probeDone bound the supervised heal probe's lifetime (both
+	// nil while no probe runs; guarded by mu).
+	probeStop chan struct{}
+	probeDone chan struct{}
+	// healMin/healMax parameterize the probe's jittered exponential
+	// backoff.
+	healMin, healMax time.Duration
+	// tracer mints root spans for heal probes (nil = untraced).
+	tracer *obs.Tracer
+	// buildGate is the service-wide cold-build concurrency gate (nil =
+	// unbounded).
+	buildGate chan struct{}
 }
 
 // newDataset wires a dataset facade. sds is nil for in-memory datasets; vs,
 // when non-nil, seeds the engine with an existing chain.
-func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg Config, health *readyState) (*Dataset, error) {
+func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg Config, health *readyState, gate chan struct{}) (*Dataset, error) {
 	eng := core.New(core.Config{Registry: cfg.Registry, Agent: cfg.Agent, Clock: cfg.Clock})
 	if vs != nil {
 		if err := eng.IngestAll(vs); err != nil {
@@ -111,12 +130,25 @@ func newDataset(name, dir string, sds *store.Dataset, vs *rdf.VersionStore, cfg 
 		}
 	}
 	d := &Dataset{name: name, dir: dir, eng: eng, sds: sds, feed: fd,
-		metrics: m, logger: cfg.Logger, health: health}
+		metrics: m, logger: cfg.Logger, health: health,
+		tracer: cfg.Tracer, buildGate: gate}
 	d.committer.max = cfg.CommitQueue
 	if d.committer.max <= 0 {
 		d.committer.max = DefaultCommitQueue
 	}
+	d.healMin = cfg.HealBackoff
+	if d.healMin <= 0 {
+		d.healMin = DefaultHealBackoff
+	}
+	d.healMax = cfg.HealBackoffMax
+	if d.healMax < d.healMin {
+		d.healMax = DefaultHealBackoffMax
+	}
+	if d.healMax < d.healMin {
+		d.healMax = d.healMin
+	}
 	d.committer.cond = sync.NewCond(&d.committer.mu)
+	health.addDataset()
 	return d, nil
 }
 
@@ -158,6 +190,9 @@ func (d *Dataset) ensureVersionLocked(ctx context.Context, id string) error {
 	if _, ok := d.eng.Versions().Get(id); ok {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if d.sds == nil || !d.sds.Has(id) {
 		return fmt.Errorf("%w: %q in dataset %q", ErrUnknownVersion, id, d.name)
 	}
@@ -198,6 +233,12 @@ func (d *Dataset) ensureItems(ctx context.Context, olderID, newerID string) erro
 			ws.SetAttr("newer", newerID)
 			ws.End()
 			if err != nil {
+				// The leader's shed propagates to every follower as its own
+				// 503, so the shed counter must move once per shed request,
+				// not once per shed build — clients and metrics reconcile 1:1.
+				if errors.Is(err, ErrBuildBusy) {
+					d.metrics.incBuildShed()
+				}
 				return err
 			}
 			d.mu.RLock()
@@ -208,7 +249,15 @@ func (d *Dataset) ensureItems(ctx context.Context, olderID, newerID string) erro
 			}
 			continue // invalidated between the leader's build and now
 		}
+		// The leader claims a cold-build slot before touching the write
+		// lock: a saturated gate sheds here (503), so a pile-up of distinct
+		// cold pairs cannot queue every request behind one slow build.
+		if err := d.acquireBuildSlot(); err != nil {
+			d.flights.leave(key, fl, err)
+			return err
+		}
 		err := d.buildItems(ctx, olderID, newerID)
+		d.releaseBuildSlot()
 		d.flights.leave(key, fl, err)
 		return err
 	}
@@ -225,6 +274,12 @@ func (d *Dataset) buildItems(ctx context.Context, olderID, newerID string) error
 	defer d.mu.Unlock()
 	if d.eng.HasItems(olderID, newerID) {
 		return nil
+	}
+	// A request whose deadline expired while queueing for the write lock
+	// must not charge its (possibly long) materialization to a client that
+	// already hung up — the next requester re-elects a leader and builds.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := d.ensureVersionLocked(ctx, olderID); err != nil {
 		return err
@@ -467,6 +522,13 @@ func (d *Dataset) CommitCtx(ctx context.Context, id string, r io.Reader) (*Commi
 	if id == "" {
 		return nil, fmt.Errorf("service: version ID must not be empty")
 	}
+	// Degraded datasets shed commits at the door: the write path is known
+	// broken, so queueing work behind it would only convert fast 503s into
+	// slow ones. Reads never pass through here and keep serving.
+	if d.degraded() {
+		d.metrics.addCommitDegraded(1)
+		return nil, fmt.Errorf("%w: dataset %q", ErrDegraded, d.name)
+	}
 	_, qs := obs.StartSpan(ctx, "commit.queue_wait")
 	qs.SetAttr("version", id)
 	req := &commitReq{ctx: ctx, id: id, r: r, queueSpan: qs, done: make(chan commitResult, 1)}
@@ -483,6 +545,9 @@ func (d *Dataset) CommitCtx(ctx context.Context, id string, r io.Reader) (*Commi
 // and flushes the feed. The dataset must not be used afterwards.
 func (d *Dataset) Close() error {
 	d.committer.close()
+	// A live heal probe must finish or stop before the store handle closes
+	// underneath it; stopProbe blocks until the probe goroutine exits.
+	d.stopProbe()
 	var err error
 	d.mu.Lock()
 	if d.sds != nil {
@@ -492,6 +557,7 @@ func (d *Dataset) Close() error {
 	if ferr := d.feed.Flush(); err == nil {
 		err = ferr
 	}
+	d.health.removeDataset(d.state.Load())
 	return err
 }
 

@@ -28,10 +28,20 @@ type readyState struct {
 	checkpoints atomic.Int64
 	drains      atomic.Int64
 
+	// Per-state dataset counts for evorec_dataset_state{state}. A degraded
+	// dataset is NOT a readiness blocker: its reads keep serving, and
+	// pulling the whole process out of rotation over one wounded write path
+	// would turn a partial failure into a total one. The counts surface in
+	// the /readyz detail instead.
+	dsHealthy  atomic.Int64
+	dsDegraded atomic.Int64
+	dsHealing  atomic.Int64
+
 	gReplays     *obs.Gauge
 	gCheckpoints *obs.Gauge
 	gDrains      *obs.Gauge
 	gReady       *obs.Gauge
+	gState       *obs.GaugeVec
 }
 
 // bind attaches the readiness gauges to reg (nil reg leaves the state
@@ -49,6 +59,60 @@ func (h *readyState) bind(reg *obs.Registry) {
 	h.gReady = reg.Gauge("evorec_ready",
 		"1 when the service would answer /readyz with 200, 0 otherwise.")
 	h.gReady.Set(1)
+	h.gState = reg.GaugeVec("evorec_dataset_state",
+		"Datasets per write-path state (healthy/degraded/healing); reads serve in every state.",
+		"state")
+}
+
+// dsCounter resolves the dataset count for one write-path state.
+func (h *readyState) dsCounter(s int32) *atomic.Int64 {
+	switch s {
+	case stateDegraded:
+		return &h.dsDegraded
+	case stateHealing:
+		return &h.dsHealing
+	default:
+		return &h.dsHealthy
+	}
+}
+
+// publishStates mirrors the per-state counts into the state gauge vec.
+func (h *readyState) publishStates() {
+	if h.gState == nil {
+		return
+	}
+	h.gState.With("healthy").Set(float64(h.dsHealthy.Load()))
+	h.gState.With("degraded").Set(float64(h.dsDegraded.Load()))
+	h.gState.With("healing").Set(float64(h.dsHealing.Load()))
+}
+
+// addDataset registers a newly built dataset as healthy. Nil-receiver safe
+// like every other readyState hook.
+func (h *readyState) addDataset() {
+	if h == nil {
+		return
+	}
+	h.dsHealthy.Add(1)
+	h.publishStates()
+}
+
+// moveDatasetState records one dataset's write-path state transition.
+func (h *readyState) moveDatasetState(from, to int32) {
+	if h == nil {
+		return
+	}
+	h.dsCounter(from).Add(-1)
+	h.dsCounter(to).Add(1)
+	h.publishStates()
+}
+
+// removeDataset drops a closing dataset from its current state count.
+func (h *readyState) removeDataset(state int32) {
+	if h == nil {
+		return
+	}
+	h.dsCounter(state).Add(-1)
+	h.publishStates()
 }
 
 // counter resolves the counter/gauge pair for one blocker class.
@@ -118,5 +182,7 @@ func (s *Service) Ready() (bool, map[string]any) {
 		"replays_in_flight":     h.replays.Load(),
 		"checkpoints_in_flight": h.checkpoints.Load(),
 		"drains_in_flight":      h.drains.Load(),
+		"datasets_degraded":     h.dsDegraded.Load(),
+		"datasets_healing":      h.dsHealing.Load(),
 	}
 }

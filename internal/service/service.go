@@ -63,6 +63,15 @@ var (
 	// ErrDatasetClosed reports an operation against a dataset whose service
 	// is shutting down.
 	ErrDatasetClosed = errors.New("service: dataset closed")
+	// ErrDegraded reports a commit refused because the dataset's write path
+	// is failing: the dataset serves reads from its materialized versions
+	// while a supervised probe retries recovery with backoff. The HTTP
+	// layer maps it to 503 + Retry-After, like ErrCommitBusy.
+	ErrDegraded = errors.New("service: dataset degraded, commits suspended while the write path heals")
+	// ErrBuildBusy reports a read shed because the cold pair-build
+	// concurrency gate is saturated; also a 503 + Retry-After. Warm pairs
+	// keep serving — only requests that would trigger a new build shed.
+	ErrBuildBusy = errors.New("service: cold pair-build capacity saturated")
 )
 
 // Config parameterizes a Service. The zero value is usable.
@@ -101,6 +110,18 @@ type Config struct {
 	// CommitQueue bounds each dataset's group-commit queue; beyond it
 	// Commit fails fast with ErrCommitBusy. Zero keeps DefaultCommitQueue.
 	CommitQueue int
+	// BuildConcurrency bounds concurrent cold pair builds across the whole
+	// service; beyond it reads needing a build shed with ErrBuildBusy
+	// instead of queueing unboundedly behind the write lock. Zero keeps
+	// DefaultBuildConcurrency; negative disables the gate.
+	BuildConcurrency int
+	// HealBackoff is the degraded-state probe's initial retry delay; zero
+	// keeps DefaultHealBackoff. Each failed probe doubles the delay (with
+	// full jitter) up to HealBackoffMax.
+	HealBackoff time.Duration
+	// HealBackoffMax caps the probe's backoff; zero keeps
+	// DefaultHealBackoffMax.
+	HealBackoffMax time.Duration
 	// Metrics is the observability registry every dataset reports into:
 	// store WAL/checkpoint/cache series, feed fan-out series, and the
 	// service's own group-commit and pair-cache series (see DESIGN.md
@@ -136,6 +157,11 @@ type Service struct {
 	// drains) for /readyz; datasets hold a pointer into it.
 	ready readyState
 
+	// buildGate bounds concurrent cold pair builds service-wide (nil =
+	// unbounded); datasets share it because builds contend on the same
+	// CPUs whatever dataset they serve.
+	buildGate chan struct{}
+
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 }
@@ -144,6 +170,12 @@ type Service struct {
 func New(cfg Config) *Service {
 	s := &Service{cfg: cfg, datasets: make(map[string]*Dataset)}
 	s.ready.bind(cfg.Metrics)
+	if n := cfg.BuildConcurrency; n >= 0 {
+		if n == 0 {
+			n = DefaultBuildConcurrency
+		}
+		s.buildGate = make(chan struct{}, n)
+	}
 	return s
 }
 
@@ -184,21 +216,21 @@ func (s *Service) Open(name, dir string) (*Dataset, error) {
 				return nil, err
 			}
 		}
-		return newDataset(name, dir, sds, nil, s.cfg, &s.ready)
+		return newDataset(name, dir, sds, nil, s.cfg, &s.ready, s.buildGate)
 	})
 }
 
 // Create registers an empty in-memory dataset, to be fed through Commit.
 func (s *Service) Create(name string) (*Dataset, error) {
 	return s.register(name, func() (*Dataset, error) {
-		return newDataset(name, "", nil, nil, s.cfg, &s.ready)
+		return newDataset(name, "", nil, nil, s.cfg, &s.ready, s.buildGate)
 	})
 }
 
 // Add registers an in-memory dataset over an existing version chain.
 func (s *Service) Add(name string, vs *rdf.VersionStore) (*Dataset, error) {
 	return s.register(name, func() (*Dataset, error) {
-		return newDataset(name, "", nil, vs, s.cfg, &s.ready)
+		return newDataset(name, "", nil, vs, s.cfg, &s.ready, s.buildGate)
 	})
 }
 
@@ -260,6 +292,12 @@ func (s *Service) FlushFeeds() error {
 // checkpoint (absorbing their WALs) and close, feeds flush. The service
 // must not be used afterwards; late commits fail with ErrDatasetClosed.
 func (s *Service) Close() error {
+	return s.closeAll(nil)
+}
+
+// closeAll is the shared shutdown body; onClosed, when non-nil, is called
+// after each dataset finishes (CloseTimeout tracks progress through it).
+func (s *Service) closeAll(onClosed func(name string)) error {
 	// The drain is a readiness blocker: /readyz flips to 503 the moment
 	// shutdown starts, before the listener stops accepting, so rolling
 	// deploys stop routing to a process that is busy flushing.
@@ -274,6 +312,47 @@ func (s *Service) Close() error {
 		if err := d.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("closing dataset %q: %w", name, err)
 		}
+		if onClosed != nil {
+			onClosed(name)
+		}
 	}
 	return firstErr
+}
+
+// CloseTimeout is Close bounded by a deadline. When the timeout fires
+// before every dataset has drained, it returns the names still closing —
+// those are force-closed in the sense that the process is about to exit
+// under them; their acknowledged commits are WAL-durable regardless, and
+// the next open replays them. A timeout of zero or less is an unbounded
+// Close.
+func (s *Service) CloseTimeout(timeout time.Duration) (abandoned []string, err error) {
+	if timeout <= 0 {
+		return nil, s.Close()
+	}
+	var mu sync.Mutex
+	pending := make(map[string]bool)
+	for _, name := range s.Names() {
+		pending[name] = true
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.closeAll(func(name string) {
+			mu.Lock()
+			delete(pending, name)
+			mu.Unlock()
+		})
+	}()
+	select {
+	case err := <-done:
+		return nil, err
+	case <-time.After(timeout):
+		mu.Lock()
+		for name := range pending {
+			abandoned = append(abandoned, name)
+		}
+		mu.Unlock()
+		sort.Strings(abandoned)
+		return abandoned, fmt.Errorf("service: close timed out after %s with %d datasets still draining",
+			timeout, len(abandoned))
+	}
 }

@@ -1,0 +1,78 @@
+// Chaos soak: the runner arms a fault injector against the live store on
+// the plan's seeded windows (sim.go dispatch loop), then — once the last
+// window closes — holds the server to the self-healing contract below.
+// Reads staying green during the windows is asserted where reads are
+// checked (checkPairStatus tolerates only gate sheds, never errors); this
+// file asserts the write path's side: every degraded dataset heals without
+// client help, and then genuinely accepts commits again.
+package sim
+
+import (
+	"net/http"
+	"time"
+)
+
+// chaosHeal runs after the main schedule drained with the injector
+// disarmed. Phase one waits (bounded by Config.HealWait) for the server's
+// own gauges to report every dataset healthy again — the heal is driven by
+// the supervised probe, not by this client's traffic. Phase two executes
+// the plan's heal commits, one per backed dataset, and requires each to be
+// acked: the probe reporting healthy is not enough, the WAL append path
+// must actually work end to end.
+func (r *runner) chaosHeal() {
+	deadline := time.Now().Add(r.cfg.HealWait)
+	if r.cfg.OpsURL != "" {
+		healed := false
+		for time.Now().Before(deadline) {
+			if r.healedNow() {
+				healed = true
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		r.expect(healed, "chaos",
+			"datasets still degraded %s after the last chaos window closed", r.cfg.HealWait)
+	}
+
+	for i := range r.plan.HealOps {
+		op := &r.plan.HealOps[i]
+		d := r.ds[op.Dataset]
+		if d == nil {
+			r.viol.addf("harness", "heal op %d references unknown dataset %s", op.Seq, op.Dataset)
+			continue
+		}
+		// Retry briefly: a probe may flip the gauge healthy a beat before
+		// a straggling checkpoint settles. Every attempt flows through the
+		// normal commit path, so its tallies reconcile like any other op.
+		for {
+			r.exec(op)
+			d.mu.Lock()
+			acked := d.acked[op.VersionID]
+			d.mu.Unlock()
+			if acked || !time.Now().Before(deadline) {
+				r.expect(acked, "chaos",
+					"heal commit %s/%s was not accepted after healing", op.Dataset, op.VersionID)
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+// healedNow scrapes /metrics once and reports whether the degraded-state
+// books are settled: no dataset degraded or mid-heal, and every degraded
+// entry matched by a completed heal (so the final conservation pass sees
+// heals == entries, not a probe caught mid-flight).
+func (r *runner) healedNow() bool {
+	status, body, err := r.fetch("/metrics")
+	if err != nil || status != http.StatusOK {
+		return false
+	}
+	snap, err := parseExposition(string(body))
+	if err != nil {
+		return false
+	}
+	return snap.value("evorec_dataset_state", map[string]string{"state": "degraded"}) == 0 &&
+		snap.value("evorec_dataset_state", map[string]string{"state": "healing"}) == 0 &&
+		snap.value("evorec_dataset_heals_total", nil) == snap.value("evorec_dataset_degraded_total", nil)
+}

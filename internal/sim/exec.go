@@ -269,11 +269,25 @@ func (r *runner) execCommit(op *Op, d *dsState) {
 		r.ingestShadowLocked(op, d)
 
 	case status == http.StatusServiceUnavailable:
-		// Load shed: the queue rejected the commit before applying it. The
-		// version never lands — later ops referencing it must 404.
+		// Rejected without landing: whether the queue shed it, the degraded
+		// gate refused it, or the WAL fault struck mid-batch, the version
+		// never exists server-side — later ops referencing it must 404.
+		// The error body says which server counter this 503 reconciles
+		// with (mid-commit wraps the degraded sentinel, so test it first).
 		delete(d.pendVer, op.VersionID)
 		delete(d.pendPair, pk)
 		d.commits503++
+		var eb struct {
+			Error string `json:"error"`
+		}
+		switch err := parseJSON(body, &eb); {
+		case err == nil && strings.Contains(eb.Error, "mid-commit"):
+			d.commitsMid503++
+		case err == nil && strings.Contains(eb.Error, "degraded"):
+			d.commitsDegraded503++
+		default:
+			d.commitsBusy503++
+		}
 
 	default:
 		delete(d.pendVer, op.VersionID)
@@ -397,8 +411,15 @@ func (r *runner) checkPairStatus(what string, op *Op, d *dsState, status int, be
 		r.expect(!before.bothAcked, "status",
 			"%s %s %s..%s = 404 but both versions were acked", what, op.Dataset, op.Older, op.Newer)
 		return false
+	case http.StatusServiceUnavailable:
+		// Load shed: the cold pair-build gate refused the build. Legitimate
+		// under pressure — tallied and reconciled against the server's
+		// rejection counter; degraded datasets still serve reads, so this
+		// never means the write fault leaked into the read path.
+		r.reads503.Add(1)
+		return false
 	default:
-		r.expect(false, "status", "%s %s %s..%s = %d, want 200 or 404",
+		r.expect(false, "status", "%s %s %s..%s = %d, want 200, 404 or 503",
 			what, op.Dataset, op.Older, op.Newer, status)
 		return false
 	}

@@ -66,6 +66,15 @@ type Config struct {
 	EvolveOps int
 	// KB shapes the synthetic knowledge bases (zero value: synth.Small()).
 	KB synth.KBConfig
+	// ChaosWindows is how many seeded fault windows the plan schedules
+	// (0 disables chaos). Each window is an [arm, disarm) op-sequence
+	// interval during which the Fault injector holds the store write path
+	// failing: commits 503 degraded while reads keep serving, and the
+	// heal probe restores the dataset after the window closes. Windows
+	// are drawn after the op stream, so a chaos plan shares its operation
+	// content with the chaos-free plan of the same seed. Requires at
+	// least one backed dataset (faults target the persistent store).
+	ChaosWindows int
 
 	// BaseURL is the API endpoint ("http://127.0.0.1:8080").
 	BaseURL string
@@ -82,8 +91,25 @@ type Config struct {
 	ScrapeInterval time.Duration
 	// HTTPTimeout bounds each request (default 30s).
 	HTTPTimeout time.Duration
+	// Fault is the runtime injector the dispatcher arms and disarms at the
+	// plan's chaos-window boundaries (an in-process vfs.ChaosFS in
+	// practice). Execution-side only — plans stay replayable without it.
+	// Required when the plan carries chaos windows.
+	Fault FaultInjector
+	// HealWait bounds how long the runner waits after the last operation
+	// for every degraded dataset to heal (default 60s). Only consulted
+	// when the plan carries chaos windows.
+	HealWait time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+}
+
+// FaultInjector is the runtime fault hook chaos windows drive. Arm makes
+// subsequent store writes fail; Disarm restores them. Both must be safe
+// for concurrent use with in-flight requests.
+type FaultInjector interface {
+	Arm()
+	Disarm()
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -108,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HTTPTimeout <= 0 {
 		c.HTTPTimeout = 30 * time.Second
+	}
+	if c.HealWait <= 0 {
+		c.HealWait = 60 * time.Second
 	}
 	return c
 }
@@ -171,6 +200,14 @@ type DatasetPlan struct {
 	Base   *rdf.Graph // nil for in-memory datasets (created over the API)
 }
 
+// ChaosWindow is one seeded fault interval: the dispatcher arms the
+// injector before dispatching the op at sequence ArmAt and disarms it
+// before the op at DisarmAt.
+type ChaosWindow struct {
+	ArmAt    int
+	DisarmAt int
+}
+
 // Plan is a materialized operation schedule plus the dataset population it
 // assumes. It is a pure function of the generation half of Config.
 type Plan struct {
@@ -178,6 +215,13 @@ type Plan struct {
 	NumOps   int
 	Datasets []DatasetPlan
 	Ops      []Op
+	// Chaos holds the seeded fault windows, ordered and non-overlapping.
+	Chaos []ChaosWindow
+	// HealOps is one extra commit per backed dataset, executed after the
+	// run (and after every dataset healed) to prove the write path
+	// re-accepts commits. Part of the plan so the oplog stays a complete
+	// determinism witness.
+	HealOps []Op
 }
 
 // genDS is the generator's view of one dataset while the schedule builds.
@@ -251,6 +295,17 @@ func BuildPlan(cfg Config) (*Plan, error) {
 	}
 	if cfg.BackedDatasets == 0 && cfg.MemDatasets == 0 {
 		return nil, fmt.Errorf("sim: need at least one dataset (backed or mem)")
+	}
+	if cfg.ChaosWindows < 0 {
+		return nil, fmt.Errorf("sim: chaos window count must be >= 0")
+	}
+	if cfg.ChaosWindows > 0 {
+		if cfg.BackedDatasets == 0 {
+			return nil, fmt.Errorf("sim: chaos windows need at least one backed dataset (faults target the store write path)")
+		}
+		if cfg.NumOps/cfg.ChaosWindows < 8 {
+			return nil, fmt.Errorf("sim: %d ops is too few for %d chaos windows (need >= 8 ops per window)", cfg.NumOps, cfg.ChaosWindows)
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	evolve := synth.EvolveConfig{Ops: cfg.EvolveOps, Locality: 0.8}
@@ -460,6 +515,47 @@ func BuildPlan(cfg Config) (*Plan, error) {
 			}
 		}
 	}
+
+	// Chaos windows: drawn after the op stream so a chaos plan shares its
+	// operation content with the chaos-free plan of the same seed. Each
+	// window lives in its own NumOps/ChaosWindows slice of the schedule,
+	// with slack on both sides so the run starts healthy, heals between
+	// windows, and ends with ops after the last disarm.
+	if cfg.ChaosWindows > 0 {
+		span := cfg.NumOps / cfg.ChaosWindows
+		for w := 0; w < cfg.ChaosWindows; w++ {
+			lo := w * span
+			arm := lo + span/4 + rng.Intn(span/4)
+			disarm := arm + 1 + rng.Intn(span/4)
+			p.Chaos = append(p.Chaos, ChaosWindow{ArmAt: arm, DisarmAt: disarm})
+		}
+		// One heal-probe commit per backed dataset, sequenced after the
+		// main schedule: executed only after every dataset healed, so a
+		// 2xx proves the write path genuinely re-accepts commits.
+		seq := cfg.NumOps
+		for _, d := range dss {
+			if !d.backed {
+				continue
+			}
+			g, _, err := synth.Evolve(d.cur, evolve, d.nm, rng)
+			if err != nil {
+				return nil, fmt.Errorf("sim: evolving %s: %w", d.name, err)
+			}
+			d.cur = g
+			id := fmt.Sprintf("v%d", d.next)
+			d.next++
+			d.version = append(d.version, id)
+			var buf bytes.Buffer
+			if err := rdf.WriteNTriples(&buf, g); err != nil {
+				return nil, fmt.Errorf("sim: serializing %s %s: %w", d.name, id, err)
+			}
+			p.HealOps = append(p.HealOps, Op{
+				Seq: seq, Kind: OpCommit,
+				Dataset: d.name, VersionID: id, Body: buf.Bytes(),
+			})
+			seq++
+		}
+	}
 	return p, nil
 }
 
@@ -539,42 +635,53 @@ func (p *Plan) WriteOpLog(w io.Writer) error {
 			bw.printf("# dataset %s mem\n", d.Name)
 		}
 	}
+	for _, w := range p.Chaos {
+		bw.printf("# chaos arm=%06d disarm=%06d\n", w.ArmAt, w.DisarmAt)
+	}
 	for i := range p.Ops {
-		op := &p.Ops[i]
-		bw.printf("%06d %s ds=%s", op.Seq, op.Kind, op.Dataset)
-		if op.User != "" {
-			bw.printf(" user=%s", op.User)
-		}
-		if op.VersionID != "" {
-			bw.printf(" version=%s body_sha=%s bytes=%d", op.VersionID, shortSHA(op.Body), len(op.Body))
-		}
-		if op.Older != "" {
-			bw.printf(" pair=%s..%s", op.Older, op.Newer)
-		}
-		if op.K != 0 {
-			bw.printf(" k=%d", op.K)
-		}
-		if op.Strategy != "" {
-			bw.printf(" strategy=%s", op.Strategy)
-		}
-		if op.Agg != "" {
-			bw.printf(" agg=%s", op.Agg)
-		}
-		if op.Threshold != 0 {
-			bw.printf(" threshold=%s", strconv.FormatFloat(op.Threshold, 'g', -1, 64))
-		}
-		if op.Interests != "" {
-			bw.printf(" interests=%s", op.Interests)
-		}
-		if len(op.Members) > 0 {
-			bw.printf(" members=%s", strings.Join(op.Members, ";"))
-		}
-		if op.Parity {
-			bw.printf(" parity=1")
-		}
-		bw.printf("\n")
+		writeOpLine(bw, &p.Ops[i], "")
+	}
+	for i := range p.HealOps {
+		writeOpLine(bw, &p.HealOps[i], " heal=1")
 	}
 	return bw.err
+}
+
+// writeOpLine renders one canonical oplog line; extra is appended before
+// the newline (heal-probe ops are tagged so the log stays self-describing).
+func writeOpLine(bw *errWriter, op *Op, extra string) {
+	bw.printf("%06d %s ds=%s", op.Seq, op.Kind, op.Dataset)
+	if op.User != "" {
+		bw.printf(" user=%s", op.User)
+	}
+	if op.VersionID != "" {
+		bw.printf(" version=%s body_sha=%s bytes=%d", op.VersionID, shortSHA(op.Body), len(op.Body))
+	}
+	if op.Older != "" {
+		bw.printf(" pair=%s..%s", op.Older, op.Newer)
+	}
+	if op.K != 0 {
+		bw.printf(" k=%d", op.K)
+	}
+	if op.Strategy != "" {
+		bw.printf(" strategy=%s", op.Strategy)
+	}
+	if op.Agg != "" {
+		bw.printf(" agg=%s", op.Agg)
+	}
+	if op.Threshold != 0 {
+		bw.printf(" threshold=%s", strconv.FormatFloat(op.Threshold, 'g', -1, 64))
+	}
+	if op.Interests != "" {
+		bw.printf(" interests=%s", op.Interests)
+	}
+	if len(op.Members) > 0 {
+		bw.printf(" members=%s", strings.Join(op.Members, ";"))
+	}
+	if op.Parity {
+		bw.printf(" parity=1")
+	}
+	bw.printf("%s\n", extra)
 }
 
 func shortSHA(b []byte) string {

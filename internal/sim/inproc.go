@@ -15,6 +15,7 @@ import (
 	"evorec/internal/server"
 	"evorec/internal/service"
 	"evorec/internal/store"
+	"evorec/internal/store/vfs"
 )
 
 // InProcOptions tunes the self-hosted server a simulation runs against when
@@ -40,6 +41,12 @@ type InProcOptions struct {
 type InProcess struct {
 	BaseURL string
 	OpsURL  string
+
+	// Chaos is the fault injector scoped to the backed datasets' store
+	// tree (feed persistence is outside it, so fan-out stays durable
+	// while stores fail). Armed and disarmed by the runner at the plan's
+	// chaos-window boundaries; starts disarmed.
+	Chaos *vfs.ChaosFS
 
 	api    *http.Server
 	ops    *http.Server
@@ -87,11 +94,20 @@ func StartInProcess(plan *Plan, opt InProcOptions) (*InProcess, error) {
 		Logger:        logger,
 	})
 
+	// Every store byte flows through the chaos filesystem; v0 seeding
+	// below uses it too (it starts disarmed, so seeding is unaffected).
+	// The heal backoff is tightened so a soak's degraded windows resolve
+	// in hundreds of milliseconds after disarm instead of the production
+	// default's seconds.
+	p.Chaos = vfs.NewChaosFS(vfs.OS{}, filepath.Join(dir, "stores"))
 	p.svc = service.New(service.Config{
-		FeedDir: filepath.Join(dir, "feeds"),
-		Metrics: reg,
-		Tracer:  tracer,
-		Logger:  logger,
+		FeedDir:        filepath.Join(dir, "feeds"),
+		FS:             p.Chaos,
+		HealBackoff:    50 * time.Millisecond,
+		HealBackoffMax: time.Second,
+		Metrics:        reg,
+		Tracer:         tracer,
+		Logger:         logger,
 	})
 	for _, dp := range plan.Datasets {
 		if !dp.Backed {
@@ -102,7 +118,7 @@ func StartInProcess(plan *Plan, opt InProcOptions) (*InProcess, error) {
 		if err := vs.Add(&rdf.Version{ID: "v0", Graph: dp.Base, Timestamp: time.Unix(0, 0).UTC()}); err != nil {
 			return fail(fmt.Errorf("sim: seeding %s: %w", dp.Name, err))
 		}
-		if _, err := store.Save(storeDir, vs, store.Options{Policy: store.Hybrid}); err != nil {
+		if _, err := store.SaveFS(p.Chaos, storeDir, vs, store.Options{Policy: store.Hybrid}); err != nil {
 			return fail(fmt.Errorf("sim: persisting %s: %w", dp.Name, err))
 		}
 		if _, err := p.svc.Open(dp.Name, storeDir); err != nil {

@@ -539,12 +539,16 @@ func (r *runner) conservationLaws(final *snapshot) {
 
 	// Aggregate the shadow's commit and feed books.
 	var commits2xx, commits503, memCommits, fanouts, fanSkipped int
+	var busy503, degraded503, mid503 int
 	var notified, drained int64
 	for _, d := range r.ds {
 		d.mu.Lock()
 		commits2xx += d.commits2xx
 		commits503 += d.commits503
 		memCommits += d.memCommits
+		busy503 += d.commitsBusy503
+		degraded503 += d.commitsDegraded503
+		mid503 += d.commitsMid503
 		fanouts += d.fanouts
 		fanSkipped += d.fanSkipped
 		notified += d.notified
@@ -553,29 +557,63 @@ func (r *runner) conservationLaws(final *snapshot) {
 		}
 		d.mu.Unlock()
 	}
+	reads503 := r.reads503.Load()
 
-	// Law 4: every acked commit passed through exactly one group-commit
-	// batch; every 503 was a counted queue rejection.
-	r.expect(final.value("evorec_commit_batch_size_sum", nil) == float64(commits2xx), "conservation",
-		"commit_batch_size_sum = %g, client acked %d commits",
-		final.value("evorec_commit_batch_size_sum", nil), commits2xx)
-	r.expect(final.value("evorec_commit_busy_total", nil) == float64(commits503), "conservation",
-		"commit_busy_total = %g, client saw %d commit 503s",
-		final.value("evorec_commit_busy_total", nil), commits503)
-	r.expect(final.value("evorec_http_rejections_total", nil) == float64(commits503), "conservation",
-		"http_rejections_total = %g, client saw %d 503s",
-		final.value("evorec_http_rejections_total", nil), commits503)
+	// Law 4: every commit the client saw resolve is in exactly one book.
+	// Acked and mid-commit-failed commits each passed through exactly one
+	// group-commit batch (the batch-size histogram observes the batch
+	// before the WAL verdict); queue sheds, degraded-gate rejections and
+	// mid-batch degraded failures each reconcile against their own
+	// counter; and the HTTP rejection counter equals every 503 the client
+	// got, commit or read.
+	r.expect(final.value("evorec_commit_batch_size_sum", nil) == float64(commits2xx+mid503), "conservation",
+		"commit_batch_size_sum = %g, client saw %d acked + %d mid-batch-failed commits",
+		final.value("evorec_commit_batch_size_sum", nil), commits2xx, mid503)
+	r.expect(final.value("evorec_commit_busy_total", nil) == float64(busy503), "conservation",
+		"commit_busy_total = %g, client saw %d queue-shed 503s",
+		final.value("evorec_commit_busy_total", nil), busy503)
+	r.expect(final.value("evorec_commit_degraded_total", nil) == float64(degraded503+mid503), "conservation",
+		"commit_degraded_total = %g, client saw %d degraded + %d mid-batch 503s",
+		final.value("evorec_commit_degraded_total", nil), degraded503, mid503)
+	r.expect(final.value("evorec_build_shed_total", nil) == float64(reads503), "conservation",
+		"build_shed_total = %g, client saw %d read 503s",
+		final.value("evorec_build_shed_total", nil), reads503)
+	r.expect(final.value("evorec_http_rejections_total", nil) == float64(commits503)+float64(reads503), "conservation",
+		"http_rejections_total = %g, client saw %d commit + %d read 503s",
+		final.value("evorec_http_rejections_total", nil), commits503, reads503)
 
 	// Law 5: the WAL fsynced at least once per batch that held a
 	// disk-backed commit. Batches are counted for in-memory datasets too
-	// (each contributes at most its own batch), hence the subtraction.
+	// (each contributes at most its own batch), and a mid-batch fault
+	// means that batch's append never reached its fsync (the WAL timer
+	// observes only successful appends) — hence both subtractions.
 	batches := final.value("evorec_commit_batch_size_count", nil)
 	fsyncs := final.value("evorec_wal_fsync_seconds_count", nil)
-	r.expect(fsyncs >= batches-float64(memCommits), "conservation",
-		"wal_fsync_count = %g < batches %g - mem commits %d", fsyncs, batches, memCommits)
+	r.expect(fsyncs >= batches-float64(memCommits)-float64(mid503), "conservation",
+		"wal_fsync_count = %g < batches %g - mem commits %d - mid-batch faults %d",
+		fsyncs, batches, memCommits, mid503)
 	if commits2xx > memCommits {
 		r.expect(fsyncs >= 1, "conservation",
 			"no WAL fsync despite %d disk-backed commits", commits2xx-memCommits)
+	}
+
+	// Law 7 (chaos runs only): the degraded ledger balances — every entry
+	// into the degraded state was matched by a completed heal, nothing is
+	// degraded or mid-heal at the end, and any degraded 503 the client saw
+	// implies the server counted at least one degraded entry.
+	if len(r.plan.Chaos) > 0 {
+		entered := final.value("evorec_dataset_degraded_total", nil)
+		heals := final.value("evorec_dataset_heals_total", nil)
+		r.expect(heals == entered, "conservation",
+			"dataset_heals_total = %g != dataset_degraded_total = %g after heal wait", heals, entered)
+		r.expect(final.value("evorec_dataset_state", map[string]string{"state": "degraded"}) == 0, "conservation",
+			"datasets still degraded after the heal wait")
+		r.expect(final.value("evorec_dataset_state", map[string]string{"state": "healing"}) == 0, "conservation",
+			"datasets still mid-heal after the heal wait")
+		if degraded503+mid503 > 0 {
+			r.expect(entered >= 1, "conservation",
+				"client saw %d degraded 503s but the server never counted a degraded entry", degraded503+mid503)
+		}
 	}
 
 	// Law 6: fan-out accounting — one duration/affected observation per

@@ -11,23 +11,34 @@ import (
 // Result is a completed soak run's verdict plus everything needed to render
 // a benchmark report.
 type Result struct {
-	Seed        int64
-	Ops         int
-	Elapsed     time.Duration
-	Checks      int64 // invariant evaluations performed
-	Violations  int
-	ByCategory  map[string]int
-	Samples     []string // first violations, verbatim
-	Parity      int64    // indexed-vs-reference parity comparisons run
-	Transport   int64    // requests that died before a status line
-	Scrapes     int64
-	TracesSeen  int64
-	ReadyOK     int64
-	ReadyBusy   int64
-	Commits2xx  int
-	Commits503  int
-	Fanouts     int
-	Notified    int64
+	Seed       int64
+	Ops        int
+	Elapsed    time.Duration
+	Checks     int64 // invariant evaluations performed
+	Violations int
+	ByCategory map[string]int
+	Samples    []string // first violations, verbatim
+	Parity     int64    // indexed-vs-reference parity comparisons run
+	Transport  int64    // requests that died before a status line
+	Scrapes    int64
+	TracesSeen int64
+	ReadyOK    int64
+	ReadyBusy  int64
+	Commits2xx int
+	Commits503 int
+	Fanouts    int
+	Notified   int64
+
+	// The chaos books: how the 503s split, how many read sheds were
+	// tolerated, and the server's own degraded/heal transition counts
+	// from the final scrape.
+	Commits503Busy     int
+	Commits503Degraded int // enqueue-time degraded + mid-batch faults
+	Reads503           int64
+	ChaosWindows       int
+	DegradedEntries    float64
+	Heals              float64
+
 	PerOp       map[string]OpStats
 	ServerRoute map[string]RouteStats
 }
@@ -54,25 +65,33 @@ type RouteStats struct {
 
 // BenchReport is the BENCH_9.json schema.
 type BenchReport struct {
-	Bench       string                `json:"bench"`
-	Seed        int64                 `json:"seed"`
-	Ops         int                   `json:"ops"`
-	DurationSec float64               `json:"duration_sec"`
-	OpsPerSec   float64               `json:"ops_per_sec"`
-	Checks      int64                 `json:"invariant_checks"`
-	Violations  int                   `json:"violations"`
-	ByCategory  map[string]int        `json:"violations_by_category,omitempty"`
-	Samples     []string              `json:"violation_samples,omitempty"`
-	Parity      int64                 `json:"parity_checks"`
-	Transport   int64                 `json:"transport_errors"`
-	Scrapes     int64                 `json:"metric_scrapes"`
-	TracesSeen  int64                 `json:"traces_seen"`
-	ReadyOK     int64                 `json:"readyz_ok"`
-	ReadyBusy   int64                 `json:"readyz_busy"`
-	Commits2xx  int                   `json:"commits_acked"`
-	Commits503  int                   `json:"commits_busy"`
-	Fanouts     int                   `json:"fanouts"`
-	Notified    int64                 `json:"notifications"`
+	Bench       string         `json:"bench"`
+	Seed        int64          `json:"seed"`
+	Ops         int            `json:"ops"`
+	DurationSec float64        `json:"duration_sec"`
+	OpsPerSec   float64        `json:"ops_per_sec"`
+	Checks      int64          `json:"invariant_checks"`
+	Violations  int            `json:"violations"`
+	ByCategory  map[string]int `json:"violations_by_category,omitempty"`
+	Samples     []string       `json:"violation_samples,omitempty"`
+	Parity      int64          `json:"parity_checks"`
+	Transport   int64          `json:"transport_errors"`
+	Scrapes     int64          `json:"metric_scrapes"`
+	TracesSeen  int64          `json:"traces_seen"`
+	ReadyOK     int64          `json:"readyz_ok"`
+	ReadyBusy   int64          `json:"readyz_busy"`
+	Commits2xx  int            `json:"commits_acked"`
+	Commits503  int            `json:"commits_503"`
+	Fanouts     int            `json:"fanouts"`
+	Notified    int64          `json:"notifications"`
+
+	Commits503Busy     int     `json:"commits_503_busy,omitempty"`
+	Commits503Degraded int     `json:"commits_503_degraded,omitempty"`
+	Reads503           int64   `json:"reads_503,omitempty"`
+	ChaosWindows       int     `json:"chaos_windows,omitempty"`
+	DegradedEntries    float64 `json:"degraded_entries,omitempty"`
+	Heals              float64 `json:"heals,omitempty"`
+
 	PerOp       map[string]OpStats    `json:"per_op"`
 	ServerRoute map[string]RouteStats `json:"server_route,omitempty"`
 }
@@ -99,6 +118,14 @@ func (res *Result) Report() *BenchReport {
 		Commits503:  res.Commits503,
 		Fanouts:     res.Fanouts,
 		Notified:    res.Notified,
+
+		Commits503Busy:     res.Commits503Busy,
+		Commits503Degraded: res.Commits503Degraded,
+		Reads503:           res.Reads503,
+		ChaosWindows:       res.ChaosWindows,
+		DegradedEntries:    res.DegradedEntries,
+		Heals:              res.Heals,
+
 		PerOp:       res.PerOp,
 		ServerRoute: res.ServerRoute,
 	}
@@ -170,9 +197,17 @@ func (r *runner) buildResult(elapsed time.Duration, final *snapshot) *Result {
 		d.mu.Lock()
 		res.Commits2xx += d.commits2xx
 		res.Commits503 += d.commits503
+		res.Commits503Busy += d.commitsBusy503
+		res.Commits503Degraded += d.commitsDegraded503 + d.commitsMid503
 		res.Fanouts += d.fanouts
 		res.Notified += d.notified
 		d.mu.Unlock()
+	}
+	res.Reads503 = r.reads503.Load()
+	res.ChaosWindows = len(r.plan.Chaos)
+	if final != nil {
+		res.DegradedEntries = final.value("evorec_dataset_degraded_total", nil)
+		res.Heals = final.value("evorec_dataset_heals_total", nil)
 	}
 	for k := OpKind(0); k < numOpKinds; k++ {
 		if st, ok := r.lat.stats(k, elapsed); ok {

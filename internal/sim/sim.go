@@ -70,6 +70,14 @@ type dsState struct {
 	notified    int64
 	memCommits  int // 2xx commits on in-memory datasets (WAL law)
 
+	// The 503 split, classified from the error body: queue-full sheds,
+	// enqueue-time degraded rejections, and mid-commit degraded failures
+	// (the WAL fault struck inside the batch). Each reconciles against
+	// its own server counter; their sum is commits503.
+	commitsBusy503     int
+	commitsDegraded503 int
+	commitsMid503      int
+
 	refEng  *core.Engine
 	refDict *rdf.Dict
 }
@@ -132,6 +140,8 @@ type runner struct {
 
 	transport     atomic.Int64
 	parityChecked atomic.Int64
+	reads503      atomic.Int64 // read-route load sheds (cold-build gate)
+	executed      atomic.Int64 // ops workers have finished (chaos barriers)
 
 	readyOK     atomic.Int64
 	readyBusy   atomic.Int64
@@ -149,6 +159,9 @@ func Run(cfg Config, plan *Plan) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("sim: Config.BaseURL is required")
+	}
+	if len(plan.Chaos) > 0 && cfg.Fault == nil {
+		return nil, fmt.Errorf("sim: plan carries %d chaos windows but Config.Fault is nil", len(plan.Chaos))
 	}
 	r := &runner{
 		cfg:  cfg,
@@ -225,6 +238,7 @@ func Run(cfg Config, plan *Plan) (*Result, error) {
 			defer wg.Done()
 			for op := range ch {
 				r.exec(op)
+				r.executed.Add(1)
 			}
 		}(queues[i])
 	}
@@ -232,20 +246,68 @@ func Run(cfg Config, plan *Plan) (*Result, error) {
 	if cfg.Rate > 0 {
 		interval = time.Duration(float64(time.Second) / cfg.Rate)
 	}
+	// Chaos windows flip the fault injector at the plan's seeded sequence
+	// boundaries. Each flip is a barrier: the dispatcher waits for every
+	// dispatched op to finish executing before toggling, so the ops inside
+	// a window genuinely run against the armed filesystem (without the
+	// barrier, an unpaced dispatcher races so far ahead of the workers
+	// that the armed period collapses to microseconds) and ops outside it
+	// never see a fault they weren't scheduled for. The shadow still
+	// classifies by the response each op actually got, so the laws don't
+	// depend on the barrier being exact.
+	dispatched := 0
+	armed := false
+	setChaos := func(on bool) {
+		if cfg.Fault == nil || armed == on {
+			return
+		}
+		for r.executed.Load() < int64(dispatched) {
+			time.Sleep(time.Millisecond)
+		}
+		armed = on
+		if on {
+			cfg.Fault.Arm()
+			r.logf("chaos: fault armed")
+		} else {
+			cfg.Fault.Disarm()
+			r.logf("chaos: fault disarmed")
+		}
+	}
+	nextWin := 0
 	for i := range plan.Ops {
 		op := &plan.Ops[i]
+		for nextWin < len(plan.Chaos) {
+			if op.Seq >= plan.Chaos[nextWin].DisarmAt {
+				setChaos(false)
+				nextWin++
+				continue
+			}
+			if op.Seq >= plan.Chaos[nextWin].ArmAt {
+				setChaos(true)
+			}
+			break
+		}
 		if interval > 0 {
 			if due := start.Add(time.Duration(op.Seq) * interval); time.Until(due) > 0 {
 				time.Sleep(time.Until(due))
 			}
 		}
 		queues[r.workerFor(op, workers)] <- op
+		dispatched++
 	}
 	for _, ch := range queues {
 		close(ch)
 	}
 	wg.Wait()
+	setChaos(false) // a window reaching the end of the schedule still closes
 	mainElapsed := time.Since(start)
+
+	// With the fault gone, wait for every degraded dataset to heal, then
+	// prove the write path re-accepts commits — before the feed drain, so
+	// the heal commits' fan-outs land in the same books as everything else.
+	if len(plan.Chaos) > 0 {
+		r.chaosHeal()
+	}
 
 	// Every commit has acked (fan-out completes before the commit ack), so
 	// a full drain now observes every notification ever delivered.

@@ -82,3 +82,70 @@ func TestInProcessSoak(t *testing.T) {
 		t.Error("report has no commit latency stats")
 	}
 }
+
+// TestInProcessChaosSoak arms the fault injector on the plan's seeded
+// windows and holds the stack to the failure contract: zero violations
+// (reads green throughout, no acked commit lost, telemetry conserved —
+// including the chaos laws), every degraded entry healed, and the heal
+// commits accepted end to end.
+func TestInProcessChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is seconds-long; skipped under -short")
+	}
+	cfg := Config{
+		Seed:           7,
+		NumOps:         300,
+		Concurrency:    4,
+		BackedDatasets: 1,
+		MemDatasets:    1,
+		Users:          8,
+		ParityEvery:    3,
+		EvolveOps:      25,
+		ChaosWindows:   2,
+		Strict:         true,
+		ScrapeInterval: 300 * time.Millisecond,
+		Logf:           t.Logf,
+	}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chaos) != 2 || len(plan.HealOps) == 0 {
+		t.Fatalf("plan carries %d chaos windows and %d heal ops, want 2 and >0",
+			len(plan.Chaos), len(plan.HealOps))
+	}
+	srv, err := StartInProcess(plan, InProcOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+	cfg.BaseURL, cfg.OpsURL = srv.BaseURL, srv.OpsURL
+	cfg.Fault = srv.Chaos
+
+	res, err := Run(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		for _, s := range res.Samples {
+			t.Error(s)
+		}
+		t.Fatalf("%d violations over %d checks (by category: %v)",
+			res.Violations, res.Checks, res.ByCategory)
+	}
+	if srv.Chaos.Faults() == 0 {
+		t.Error("the injector never faulted an operation (windows missed all writes)")
+	}
+	// The conservation pass already holds heals == degraded entries; here
+	// just require the incident actually happened and fully resolved.
+	if res.DegradedEntries == 0 {
+		t.Error("no dataset ever degraded under armed chaos windows")
+	}
+	if res.Heals != res.DegradedEntries {
+		t.Errorf("heals = %g, degraded entries = %g; every incident must resolve",
+			res.Heals, res.DegradedEntries)
+	}
+	if res.Commits2xx == 0 {
+		t.Error("no commits were acknowledged around the fault windows")
+	}
+}

@@ -315,6 +315,56 @@ func (ds *Dataset) fail(err error) {
 	}
 }
 
+// Failed returns the error that poisoned the handle, or nil while healthy.
+func (ds *Dataset) Failed() error { return ds.failed }
+
+// Heal attempts to clear a poisoned handle in place, without reopening the
+// directory. It is safe because a failed batch is rejected before the
+// in-memory manifest is swapped: ds.man always holds exactly the
+// acknowledged prefix, whatever the failure half-applied elsewhere. Heal
+// rebuilds the index and pending set from that manifest, then runs a full
+// checkpoint — fsync the acknowledged segments, rewrite the dictionary
+// segment, write the manifest durably, truncate the WAL. The truncation
+// deliberately discards WAL records of commits whose apply failed after
+// the WAL fsync: their callers were handed an error, and resurrecting them
+// on a later replay would turn a reported failure into a silent commit.
+//
+// On success the handle appends and checkpoints again and every
+// acknowledged commit is durable. If the underlying fault persists, the
+// checkpoint's error is returned and the handle stays poisoned (with the
+// new error), ready for another attempt.
+func (ds *Dataset) Heal() error { return ds.HealCtx(context.Background()) }
+
+// HealCtx is Heal recording a "store.heal" span when ctx carries a sampled
+// trace — each supervised probe attempt shows up as its own span.
+func (ds *Dataset) HealCtx(ctx context.Context) error {
+	if ds.failed == nil {
+		return nil
+	}
+	idx := make(map[string]int, len(ds.man.Entries))
+	live := make(map[string]bool, len(ds.man.Entries))
+	for i, e := range ds.man.Entries {
+		idx[e.ID] = i
+		live[joinPath(ds.dir, e.File)] = true
+	}
+	pending := make(map[string]bool, len(ds.pending))
+	for path := range ds.pending {
+		if live[path] {
+			pending[path] = true
+		}
+	}
+	ds.idx, ds.pending = idx, pending
+	ds.failed = nil
+	_, end := startSpan(ds.spans, ctx, "store.heal")
+	err := ds.checkpointTimed(CheckpointHeal)
+	end()
+	if err != nil {
+		ds.fail(err)
+		return err
+	}
+	return nil
+}
+
 // SetCacheCap resizes the graph LRU, evicting down if needed. Capacities
 // below 1 are rejected (a capacity of 0 would thrash every reconstruction),
 // so callers wiring user input through — flags, HTTP parameters — surface a
@@ -396,7 +446,7 @@ func (ds *Dataset) GraphAtCtx(ctx context.Context, i int) (*rdf.Graph, error) {
 		ds.tel.ObserveCacheAccess(false)
 	}
 	_, end := startSpan(ds.spans, ctx, "store.materialize")
-	g, replayed, err := ds.materialize(i)
+	g, replayed, err := ds.materialize(ctx, i)
 	if err != nil {
 		end()
 		return nil, err
@@ -406,8 +456,11 @@ func (ds *Dataset) GraphAtCtx(ctx context.Context, i int) (*rdf.Graph, error) {
 }
 
 // materialize reconstructs version i on an LRU miss, reporting how many
-// delta segments were replayed forward from the reconstruction base.
-func (ds *Dataset) materialize(i int) (*rdf.Graph, int, error) {
+// delta segments were replayed forward from the reconstruction base. The
+// replay checks ctx between delta segments, so a request whose deadline
+// expires mid-reconstruction stops paying for segments nobody will read
+// (nothing partial is cached — the LRU only sees the finished graph).
+func (ds *Dataset) materialize(ctx context.Context, i int) (*rdf.Graph, int, error) {
 	// Walk back to the nearest reconstruction base: a cached graph or a
 	// snapshot entry (entry 0 is always a snapshot, so this terminates).
 	// Because the walk stops at the first of either, the forward replay
@@ -429,6 +482,9 @@ func (ds *Dataset) materialize(i int) (*rdf.Graph, int, error) {
 		base--
 	}
 	for j := base + 1; j <= i; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		if err := ds.applyDelta(j, g); err != nil {
 			return nil, 0, err
 		}

@@ -86,4 +86,7 @@ const (
 	// CheckpointIdle is a background checkpoint taken while the commit
 	// queue is quiet (the service's group committer uses it).
 	CheckpointIdle = "idle"
+	// CheckpointHeal is the recovery checkpoint a Heal of a poisoned
+	// handle runs to re-establish a durable, WAL-empty state.
+	CheckpointHeal = "heal"
 )

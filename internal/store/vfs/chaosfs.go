@@ -1,0 +1,169 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrChaos is the error every faulted operation returns while a ChaosFS is
+// armed. It is transient by contract: the same operation succeeds again
+// once the wrapper is disarmed, which is what distinguishes chaos faults
+// from FaultFS's fail-stop crashes.
+var ErrChaos = errors.New("vfs: injected transient fault (chaos armed)")
+
+// ChaosFS wraps an FS with an armable, disarmable transient write fault:
+// while armed, every mutating or syncing operation under the scoped prefix
+// fails with ErrChaos and nothing reaches the inner FS; reads always pass
+// through, and disarming restores normal service. Where FaultFS models a
+// single fail-stop crash (one injection point, then dead forever), ChaosFS
+// models a live incident — a disk that stops accepting writes for a window
+// and then recovers — so a running stack can be driven through
+// degraded-and-healed cycles without restarting.
+//
+// File handles opened through the wrapper consult the armed flag on every
+// Write and Sync, so a long-lived handle (a WAL) starts failing the moment
+// the fault is armed even though it was opened while healthy.
+type ChaosFS struct {
+	inner FS
+	// under scopes the faults to one directory tree ("" faults everything).
+	// Scoping lets a chaos soak wound the store tree while the feed tree —
+	// which persists eagerly on every subscribe — keeps working.
+	under  string
+	armed  atomic.Bool
+	faults atomic.Int64
+}
+
+// NewChaosFS wraps inner. When under is non-empty, only operations on
+// paths inside that directory tree are ever faulted.
+func NewChaosFS(inner FS, under string) *ChaosFS {
+	return &ChaosFS{inner: inner, under: strings.TrimSuffix(under, "/")}
+}
+
+// Arm starts failing scoped mutating operations with ErrChaos.
+func (c *ChaosFS) Arm() { c.armed.Store(true) }
+
+// Disarm restores normal service.
+func (c *ChaosFS) Disarm() { c.armed.Store(false) }
+
+// Armed reports whether the fault is currently armed.
+func (c *ChaosFS) Armed() bool { return c.armed.Load() }
+
+// Faults returns how many operations have been rejected so far.
+func (c *ChaosFS) Faults() int64 { return c.faults.Load() }
+
+// fault returns ErrChaos (and counts it) when armed and path is in scope.
+func (c *ChaosFS) fault(path string) error {
+	if !c.armed.Load() || !c.inScope(path) {
+		return nil
+	}
+	c.faults.Add(1)
+	return ErrChaos
+}
+
+func (c *ChaosFS) inScope(path string) bool {
+	if c.under == "" {
+		return true
+	}
+	return path == c.under || strings.HasPrefix(path, c.under+"/")
+}
+
+// ReadFile implements FS; reads always pass through.
+func (c *ChaosFS) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
+
+// Stat implements FS; reads always pass through.
+func (c *ChaosFS) Stat(path string) (fs.FileInfo, error) { return c.inner.Stat(path) }
+
+// MkdirAll implements FS.
+func (c *ChaosFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := c.fault(path); err != nil {
+		return err
+	}
+	return c.inner.MkdirAll(path, perm)
+}
+
+// Create implements FS.
+func (c *ChaosFS) Create(path string) (File, error) {
+	if err := c.fault(path); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{f: f, c: c, path: path}, nil
+}
+
+// OpenAppend implements FS.
+func (c *ChaosFS) OpenAppend(path string) (File, error) {
+	if err := c.fault(path); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{f: f, c: c, path: path}, nil
+}
+
+// Rename implements FS; faulted when either endpoint is in scope.
+func (c *ChaosFS) Rename(oldPath, newPath string) error {
+	if err := c.fault(oldPath); err != nil {
+		return err
+	}
+	if err := c.fault(newPath); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements FS.
+func (c *ChaosFS) Remove(path string) error {
+	if err := c.fault(path); err != nil {
+		return err
+	}
+	return c.inner.Remove(path)
+}
+
+// SyncPath implements FS.
+func (c *ChaosFS) SyncPath(path string) error {
+	if err := c.fault(path); err != nil {
+		return err
+	}
+	return c.inner.SyncPath(path)
+}
+
+// SyncDir implements FS.
+func (c *ChaosFS) SyncDir(dir string) error {
+	if err := c.fault(dir); err != nil {
+		return err
+	}
+	return c.inner.SyncDir(dir)
+}
+
+// chaosFile consults the owning wrapper's armed flag on every write and
+// sync; a fault leaves the underlying file untouched (nothing partial is
+// written), so healing never has to repair a torn chaos write.
+type chaosFile struct {
+	f    File
+	c    *ChaosFS
+	path string
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	if err := f.c.fault(f.path); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	if err := f.c.fault(f.path); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close always passes through so handles are never leaked by a fault.
+func (f *chaosFile) Close() error { return f.f.Close() }

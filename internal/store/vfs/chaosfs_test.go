@@ -1,0 +1,112 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestChaosFSTransientScopedFault pins ChaosFS's contract: armed faults hit
+// every scoped mutation (including writes on handles opened while healthy),
+// leave out-of-scope paths and all reads untouched, and vanish completely
+// on disarm — the same operation that just faulted succeeds.
+func TestChaosFSTransientScopedFault(t *testing.T) {
+	c := NewChaosFS(NewMemFS(), "data")
+	if err := c.MkdirAll("data/ds", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path, body string) error {
+		f, err := c.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(body)); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("data/ds/a", "healthy"); err != nil {
+		t.Fatalf("disarmed write: %v", err)
+	}
+	// A long-lived handle (the WAL's shape): opened healthy, written across
+	// the arm boundary.
+	wal, err := c.OpenAppend("data/ds/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close() //nolint:errcheck
+	if _, err := wal.Write([]byte("rec1")); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Arm()
+	if !c.Armed() {
+		t.Fatal("Armed() = false after Arm()")
+	}
+	if _, err := wal.Write([]byte("rec2")); !errors.Is(err, ErrChaos) {
+		t.Fatalf("armed write on healthy-opened handle = %v, want ErrChaos", err)
+	}
+	if err := wal.Sync(); !errors.Is(err, ErrChaos) {
+		t.Fatalf("armed sync = %v, want ErrChaos", err)
+	}
+	if err := write("data/ds/b", "x"); !errors.Is(err, ErrChaos) {
+		t.Fatalf("armed create = %v, want ErrChaos", err)
+	}
+	if err := c.Rename("data/ds/a", "data/ds/a2"); !errors.Is(err, ErrChaos) {
+		t.Fatalf("armed rename = %v, want ErrChaos", err)
+	}
+	if err := c.SyncPath("data/ds/a"); !errors.Is(err, ErrChaos) {
+		t.Fatalf("armed SyncPath = %v, want ErrChaos", err)
+	}
+	// Reads always pass through, armed or not.
+	if got, err := c.ReadFile("data/ds/a"); err != nil || string(got) != "healthy" {
+		t.Fatalf("armed read = %q, %v; want the healthy contents", got, err)
+	}
+	if _, err := c.Stat("data/ds/a"); err != nil {
+		t.Fatalf("armed stat: %v", err)
+	}
+	// Out-of-scope trees never fault: the feed dir keeps persisting while
+	// the store tree is wounded.
+	if err := c.MkdirAll("feeds", 0o755); err != nil {
+		t.Fatalf("armed out-of-scope mkdir: %v", err)
+	}
+	if err := write("feeds/u1", "sub"); err != nil {
+		t.Fatalf("armed out-of-scope write: %v", err)
+	}
+	if c.Faults() == 0 {
+		t.Fatal("fault counter never moved")
+	}
+
+	// Transient by contract: disarming restores everything, including the
+	// handle that was faulting a moment ago.
+	c.Disarm()
+	if _, err := wal.Write([]byte("rec3")); err != nil {
+		t.Fatalf("disarmed write on the faulted handle: %v", err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("disarmed sync: %v", err)
+	}
+	if err := write("data/ds/b", "x"); err != nil {
+		t.Fatalf("disarmed create of the faulted path: %v", err)
+	}
+	// The faulted armed writes left nothing partial behind.
+	if got, err := c.ReadFile("data/ds/wal"); err != nil || string(got) != "rec1rec3" {
+		t.Fatalf("wal contents = %q, %v; want rec1rec3 (no torn chaos writes)", got, err)
+	}
+}
+
+// TestChaosFSUnscoped checks that an empty scope faults the whole tree.
+func TestChaosFSUnscoped(t *testing.T) {
+	c := NewChaosFS(NewMemFS(), "")
+	c.Arm()
+	if _, err := c.Create("anywhere"); !errors.Is(err, ErrChaos) {
+		t.Fatalf("unscoped armed create = %v, want ErrChaos", err)
+	}
+	if err := c.MkdirAll("any/dir", 0o755); !errors.Is(err, ErrChaos) {
+		t.Fatalf("unscoped armed mkdir = %v, want ErrChaos", err)
+	}
+}
